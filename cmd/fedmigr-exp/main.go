@@ -1,0 +1,74 @@
+// Command fedmigr-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fedmigr-exp -list
+//	fedmigr-exp -id fig3 [-scale 1.0] [-seed 1]
+//	fedmigr-exp -all
+//
+// Each experiment prints an aligned text table with the same rows/series
+// the paper reports, plus notes stating the paper's expected shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fedmigr/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "experiment id to run (fig3, tab1, …)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = laptop scale)")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+		asCSV = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, eid := range experiments.IDs() {
+			e, _ := experiments.Get(eid)
+			fmt.Printf("%-6s %s\n", eid, e.Title())
+		}
+	case *all:
+		params := experiments.Params{Scale: *scale, Seed: *seed}
+		for _, e := range experiments.All() {
+			start := time.Now()
+			rep, err := e.Run(params)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID(), err)
+				os.Exit(1)
+			}
+			rep.Print(os.Stdout)
+			fmt.Printf("[%s finished in %v]\n\n", e.ID(), time.Since(start).Round(time.Millisecond))
+		}
+	case *id != "":
+		e, ok := experiments.Get(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+			os.Exit(2)
+		}
+		rep, err := e.Run(experiments.Params{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *id, err)
+			os.Exit(1)
+		}
+		if *asCSV {
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			rep.Print(os.Stdout)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: train one FedMigr model on non-IID synthetic data and print
+// the accuracy trajectory plus the resource bill.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fedmigr "fedmigr"
+)
+
+func main() {
+	res, err := fedmigr.Run(fedmigr.Options{
+		Scheme:    fedmigr.SchemeFedMigr,
+		Migrator:  fedmigr.MigratorGreedyEMD,
+		Dataset:   fedmigr.DatasetC10,
+		Partition: fedmigr.PartitionShards, // one class per client: hard non-IID
+		Model:     fedmigr.ModelMLP,
+		Clients:   10,
+		LANs:      3,
+		Noise:     3.0,
+		Epochs:    40,
+		AggEvery:  5, // 4 migration events, then a global aggregation
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FedMigr on one-class-per-client non-IID data (10 clients, 3 LANs)")
+	fmt.Println()
+	fmt.Printf("%-7s %-10s %-10s %-12s\n", "epoch", "loss", "accuracy", "wall-clock")
+	for _, m := range res.History {
+		fmt.Printf("%-7d %-10.4f %-10.4f %-12s\n",
+			m.Epoch, m.TrainLoss, m.TestAcc, fmt.Sprintf("%.1fs", m.Snapshot.WallSeconds))
+	}
+	fmt.Println()
+	fmt.Printf("final accuracy : %.1f%%\n", 100*res.FinalAcc)
+	fmt.Printf("C2S traffic    : %.2f MB (global aggregation only)\n", float64(res.Snapshot.C2SBytes)/1e6)
+	fmt.Printf("local traffic  : %.2f MB (intra-LAN model migrations)\n", float64(res.Snapshot.LocalBytes)/1e6)
+	fmt.Printf("completion time: %.1f simulated seconds\n", res.Snapshot.WallSeconds)
+}

@@ -1,0 +1,187 @@
+package fedmigr
+
+import (
+	"math"
+	"testing"
+
+	"fedmigr/internal/drl"
+)
+
+// fast returns options small enough for unit testing on one core.
+func fast(scheme Scheme) Options {
+	return Options{
+		Scheme:   scheme,
+		Model:    ModelMLP,
+		Clients:  4,
+		LANs:     2,
+		PerClass: 6,
+		Epochs:   6,
+		AggEvery: 3,
+		Seed:     2,
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, s := range []Scheme{SchemeFedAvg, SchemeFedProx, SchemeFedSwap, SchemeRandMigr, SchemeFedMigr} {
+		o := fast(s)
+		if s == SchemeFedAvg || s == SchemeFedProx {
+			o.AggEvery = 1
+		}
+		if s == SchemeFedProx {
+			o.ProxMu = 0.01
+		}
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Epochs != 6 {
+			t.Fatalf("%v ran %d epochs", s, res.Epochs)
+		}
+		if math.IsNaN(res.FinalLoss) {
+			t.Fatalf("%v NaN loss", s)
+		}
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	for _, d := range []Dataset{DatasetC10, DatasetC100, DatasetINet100} {
+		o := fast(SchemeFedAvg)
+		o.Dataset = d
+		o.AggEvery = 1
+		o.Epochs = 2
+		o.PerClass = 2
+		if d != DatasetC10 {
+			o.Clients = 4
+			o.ShardsPerClient = 5
+		}
+		if _, err := Run(o); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+	}
+}
+
+func TestRunAllModels(t *testing.T) {
+	for _, m := range []Model{ModelC10CNN, ModelC100CNN, ModelResLite, ModelAlexLite, ModelMLP} {
+		o := fast(SchemeFedAvg)
+		o.Model = m
+		o.AggEvery = 1
+		o.Epochs = 1
+		o.PerClass = 3
+		if _, err := Run(o); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestRunAllPartitions(t *testing.T) {
+	for _, p := range []Partition{PartitionIID, PartitionShards, PartitionDominance, PartitionLAN} {
+		o := fast(SchemeFedAvg)
+		o.Partition = p
+		o.AggEvery = 1
+		o.Epochs = 1
+		if _, err := Run(o); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestRunAllMigrators(t *testing.T) {
+	for _, m := range []MigratorKind{MigratorDRL, MigratorRandom, MigratorGreedyEMD, MigratorCrossLAN, MigratorWithinLAN, MigratorStay} {
+		o := fast(SchemeFedMigr)
+		o.Migrator = m
+		o.Epochs = 4
+		o.AggEvery = 2
+		if _, err := Run(o); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestUnknownNamesError(t *testing.T) {
+	for _, o := range []Options{
+		{Dataset: "nope"},
+		{Partition: "nope"},
+		{Model: "nope"},
+		{Scheme: SchemeFedMigr, Migrator: "nope"},
+	} {
+		oo := fast(o.Scheme)
+		if o.Dataset != "" {
+			oo.Dataset = o.Dataset
+		}
+		if o.Partition != "" {
+			oo.Partition = o.Partition
+		}
+		if o.Model != "" {
+			oo.Model = o.Model
+		}
+		if o.Migrator != "" {
+			oo.Migrator = o.Migrator
+		}
+		if _, err := Run(oo); err == nil {
+			t.Fatalf("expected error for %+v", o)
+		}
+	}
+}
+
+func TestPrivacyOption(t *testing.T) {
+	o := fast(SchemeRandMigr)
+	o.PrivacyEpsilon = 100
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("privacy run NaN")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(fast(SchemeRandMigr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fast(SchemeRandMigr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalLoss != b.FinalLoss || a.Snapshot != b.Snapshot {
+		t.Fatal("same options+seed must give identical runs")
+	}
+}
+
+func TestPaperTopologyLayout(t *testing.T) {
+	o := Options{Scheme: SchemeFedAvg, Clients: 10, LANs: 3, Model: ModelMLP,
+		PerClass: 4, Epochs: 1, AggEvery: 1, Seed: 3}
+	sim, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's split: ([0..3], [4..6], [7..9]).
+	if !sim.Topology.SameLAN(0, 3) || sim.Topology.SameLAN(3, 4) || !sim.Topology.SameLAN(7, 9) {
+		t.Fatalf("unexpected LAN layout %v", sim.Topology.LANOf)
+	}
+}
+
+func TestPretrainWarmsAgent(t *testing.T) {
+	base := fast(SchemeFedMigr)
+	m := drl.NewMigrator(drl.MigratorConfig{K: base.Clients, Seed: 9})
+	if err := Pretrain(m, base, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Agent.Steps() == 0 {
+		t.Fatal("pretraining did not train the agent")
+	}
+}
+
+func TestBudgetOptionsPropagate(t *testing.T) {
+	o := fast(SchemeFedAvg)
+	o.AggEvery = 1
+	o.BandwidthBudget = 1
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BudgetExhausted {
+		t.Fatal("bandwidth budget did not stop the run")
+	}
+}

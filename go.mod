@@ -1,0 +1,3 @@
+module fedmigr
+
+go 1.22

@@ -1,0 +1,134 @@
+// Package checkpoint persists training artifacts: model parameters, DDPG
+// agents (actor/critic pairs), and run metrics. Formats are plain
+// encoding/binary (models, via nn's parameter codec) and CSV (metrics), so
+// checkpoints are portable and diffable. A downstream user can pre-train
+// the EMPG agent once, save it, and deploy it frozen across runs — the
+// paper's offline-training workflow.
+package checkpoint
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"fedmigr/internal/core"
+	"fedmigr/internal/nn"
+)
+
+// SaveModel writes a model's parameters to path, creating parent
+// directories as needed.
+func SaveModel(path string, m *nn.Sequential) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	b, err := m.MarshalParams()
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads parameters from path into m, whose architecture must
+// match the checkpoint.
+func LoadModel(path string, m *nn.Sequential) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: read: %w", err)
+	}
+	if err := m.UnmarshalParams(b); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteMetricsCSV streams a run's evaluation history as CSV with a header
+// row: epoch, round, train_loss, test_acc, total_mb, c2s_mb, local_mb,
+// wall_s, compute_s.
+func WriteMetricsCSV(w io.Writer, history []core.RoundMetrics) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"epoch", "round", "train_loss", "test_acc",
+		"total_mb", "c2s_mb", "local_mb", "wall_s", "compute_s",
+	}); err != nil {
+		return fmt.Errorf("checkpoint: csv header: %w", err)
+	}
+	for _, m := range history {
+		rec := []string{
+			strconv.Itoa(m.Epoch),
+			strconv.Itoa(m.Round),
+			strconv.FormatFloat(m.TrainLoss, 'g', 8, 64),
+			strconv.FormatFloat(m.TestAcc, 'g', 8, 64),
+			strconv.FormatFloat(float64(m.Snapshot.TotalBytes)/1e6, 'g', 8, 64),
+			strconv.FormatFloat(float64(m.Snapshot.C2SBytes)/1e6, 'g', 8, 64),
+			strconv.FormatFloat(float64(m.Snapshot.LocalBytes)/1e6, 'g', 8, 64),
+			strconv.FormatFloat(m.Snapshot.WallSeconds, 'g', 8, 64),
+			strconv.FormatFloat(m.Snapshot.ComputeSecs, 'g', 8, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("checkpoint: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveMetricsCSV writes a run's history to a CSV file.
+func SaveMetricsCSV(path string, history []core.RoundMetrics) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return WriteMetricsCSV(f, history)
+}
+
+// ReadMetricsCSV parses a CSV produced by WriteMetricsCSV back into the
+// epoch/loss/accuracy triples (resource columns are not reconstructed into
+// snapshots; they are reporting-only).
+func ReadMetricsCSV(r io.Reader) ([]core.RoundMetrics, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("checkpoint: empty csv")
+	}
+	var out []core.RoundMetrics
+	for i, rec := range rows[1:] {
+		if len(rec) < 4 {
+			return nil, fmt.Errorf("checkpoint: csv row %d has %d fields", i+1, len(rec))
+		}
+		epoch, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: csv row %d epoch: %w", i+1, err)
+		}
+		round, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: csv row %d round: %w", i+1, err)
+		}
+		loss, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: csv row %d loss: %w", i+1, err)
+		}
+		acc, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: csv row %d acc: %w", i+1, err)
+		}
+		out = append(out, core.RoundMetrics{Epoch: epoch, Round: round, TrainLoss: loss, TestAcc: acc})
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+// Package compress implements the model-payload compression schemes the
+// communication-efficient-FL literature (the paper's Sec. I related work)
+// pairs with aggregation-frequency control: float32 truncation, linear
+// int8 quantization, and top-k sparsification. Each Codec maps a parameter
+// vector to a compact byte payload and back; the byte size feeds the edge
+// cost model, so compression composes with migration for further C2S
+// savings.
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"fedmigr/internal/tensor"
+)
+
+// Codec encodes and decodes flat parameter vectors.
+type Codec interface {
+	// Name identifies the codec.
+	Name() string
+	// Encode serializes v.
+	Encode(v *tensor.Tensor) ([]byte, error)
+	// Decode reconstructs a vector of length n from payload.
+	Decode(payload []byte, n int) (*tensor.Tensor, error)
+	// Ratio estimates bytes-per-parameter (8 = uncompressed float64).
+	Ratio() float64
+}
+
+// --- float32 ---------------------------------------------------------------
+
+// Float32Codec halves the payload by casting parameters to float32.
+type Float32Codec struct{}
+
+// Name implements Codec.
+func (Float32Codec) Name() string { return "float32" }
+
+// Ratio implements Codec.
+func (Float32Codec) Ratio() float64 { return 4 }
+
+// Encode implements Codec.
+func (Float32Codec) Encode(v *tensor.Tensor) ([]byte, error) {
+	buf := make([]byte, 4*v.Size())
+	for i, x := range v.Data() {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(x)))
+	}
+	return buf, nil
+}
+
+// Decode implements Codec.
+func (Float32Codec) Decode(payload []byte, n int) (*tensor.Tensor, error) {
+	if len(payload) != 4*n {
+		return nil, fmt.Errorf("compress: float32 payload %d bytes for %d params", len(payload), n)
+	}
+	out := tensor.New(n)
+	for i := 0; i < n; i++ {
+		out.Data()[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+	}
+	return out, nil
+}
+
+// --- int8 linear quantization -----------------------------------------------
+
+// Int8Codec quantizes parameters to 256 levels spanning [min, max],
+// shrinking payloads 8x at ~0.4% of the value range in error.
+type Int8Codec struct{}
+
+// Name implements Codec.
+func (Int8Codec) Name() string { return "int8" }
+
+// Ratio implements Codec.
+func (Int8Codec) Ratio() float64 { return 1 }
+
+// Encode implements Codec.
+func (Int8Codec) Encode(v *tensor.Tensor) ([]byte, error) {
+	lo, hi := v.Min(), v.Max()
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, lo); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, hi); err != nil {
+		return nil, err
+	}
+	scale := (hi - lo) / 255
+	if scale == 0 {
+		scale = 1
+	}
+	q := make([]byte, v.Size())
+	for i, x := range v.Data() {
+		q[i] = byte(math.Round((x - lo) / scale))
+	}
+	buf.Write(q)
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (Int8Codec) Decode(payload []byte, n int) (*tensor.Tensor, error) {
+	if len(payload) != 16+n {
+		return nil, fmt.Errorf("compress: int8 payload %d bytes for %d params", len(payload), n)
+	}
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	hi := math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+	scale := (hi - lo) / 255
+	if scale == 0 {
+		scale = 1
+	}
+	out := tensor.New(n)
+	for i := 0; i < n; i++ {
+		out.Data()[i] = lo + float64(payload[16+i])*scale
+	}
+	return out, nil
+}
+
+// --- top-k sparsification -----------------------------------------------------
+
+// TopKCodec keeps only the k largest-magnitude parameters (index + float32
+// value pairs); everything else decodes to zero. Standard gradient
+// sparsification adapted to full-model payloads.
+type TopKCodec struct {
+	// Frac is the kept fraction in (0, 1].
+	Frac float64
+}
+
+// Name implements Codec.
+func (c TopKCodec) Name() string { return fmt.Sprintf("topk(%.2f)", c.Frac) }
+
+// Ratio implements Codec.
+func (c TopKCodec) Ratio() float64 { return 8 * c.Frac }
+
+// Encode implements Codec.
+func (c TopKCodec) Encode(v *tensor.Tensor) ([]byte, error) {
+	if c.Frac <= 0 || c.Frac > 1 {
+		return nil, fmt.Errorf("compress: top-k fraction %v outside (0,1]", c.Frac)
+	}
+	n := v.Size()
+	k := int(math.Ceil(c.Frac * float64(n)))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	d := v.Data()
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(d[idx[a]]) > math.Abs(d[idx[b]])
+	})
+	kept := idx[:k]
+	sort.Ints(kept)
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(k)); err != nil {
+		return nil, err
+	}
+	for _, i := range kept {
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(i)); err != nil {
+			return nil, err
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, math.Float32bits(float32(d[i]))); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (c TopKCodec) Decode(payload []byte, n int) (*tensor.Tensor, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("compress: truncated top-k payload")
+	}
+	k := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+8*k {
+		return nil, fmt.Errorf("compress: top-k payload %d bytes for k=%d", len(payload), k)
+	}
+	out := tensor.New(n)
+	for j := 0; j < k; j++ {
+		off := 4 + 8*j
+		i := int(binary.LittleEndian.Uint32(payload[off:]))
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("compress: top-k index %d outside [0,%d)", i, n)
+		}
+		out.Data()[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[off+4:])))
+	}
+	return out, nil
+}
+
+// Error measures the relative L2 reconstruction error of codec on v —
+// ‖v − decode(encode(v))‖ / ‖v‖ — the quantity accuracy degrades with.
+func Error(c Codec, v *tensor.Tensor) (float64, error) {
+	b, err := c.Encode(v)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.Decode(b, v.Size())
+	if err != nil {
+		return 0, err
+	}
+	denom := v.Norm2()
+	if denom == 0 {
+		return 0, nil
+	}
+	return r.Sub(v).Norm2() / denom, nil
+}

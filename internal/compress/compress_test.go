@@ -1,0 +1,175 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedmigr/internal/tensor"
+)
+
+func randomVec(seed int64, n int) *tensor.Tensor {
+	g := tensor.NewRNG(seed)
+	return tensor.Randn(g, 1, n)
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	v := randomVec(1, 100)
+	c := Float32Codec{}
+	b, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 400 {
+		t.Fatalf("payload %d bytes, want 400", len(b))
+	}
+	r, err := c.Decode(b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Data() {
+		if math.Abs(r.Data()[i]-v.Data()[i]) > 1e-6*(1+math.Abs(v.Data()[i])) {
+			t.Fatalf("float32 error too large at %d: %v vs %v", i, r.Data()[i], v.Data()[i])
+		}
+	}
+}
+
+func TestInt8RoundTripBounded(t *testing.T) {
+	v := randomVec(2, 256)
+	c := Int8Codec{}
+	b, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 16+256 {
+		t.Fatalf("payload %d bytes", len(b))
+	}
+	r, err := c.Decode(b, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := (v.Max() - v.Min()) / 255
+	for i := range v.Data() {
+		if math.Abs(r.Data()[i]-v.Data()[i]) > step/2+1e-12 {
+			t.Fatalf("int8 error exceeds half a quantization step at %d", i)
+		}
+	}
+}
+
+func TestInt8ConstantVector(t *testing.T) {
+	v := tensor.Full(3.7, 50)
+	c := Int8Codec{}
+	b, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Decode(b, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range r.Data() {
+		if math.Abs(x-3.7) > 1e-12 {
+			t.Fatalf("constant vector decoded to %v", x)
+		}
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	v := tensor.FromSlice([]float64{0.1, -5, 0.2, 3, -0.05}, 5)
+	c := TopKCodec{Frac: 0.4} // keep 2 of 5
+	b, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Decode(b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, -5, 0, 3, 0}
+	for i, w := range want {
+		if math.Abs(r.Data()[i]-w) > 1e-6 {
+			t.Fatalf("topk[%d]=%v want %v", i, r.Data()[i], w)
+		}
+	}
+}
+
+func TestTopKBadFraction(t *testing.T) {
+	v := randomVec(3, 10)
+	for _, f := range []float64{0, -1, 1.5} {
+		if _, err := (TopKCodec{Frac: f}).Encode(v); err == nil {
+			t.Fatalf("fraction %v must fail", f)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := (Float32Codec{}).Decode([]byte{1, 2}, 10); err == nil {
+		t.Fatal("short float32 payload must fail")
+	}
+	if _, err := (Int8Codec{}).Decode([]byte{1}, 10); err == nil {
+		t.Fatal("short int8 payload must fail")
+	}
+	if _, err := (TopKCodec{Frac: 0.5}).Decode([]byte{1}, 10); err == nil {
+		t.Fatal("short topk payload must fail")
+	}
+	// Out-of-range index.
+	v := randomVec(4, 4)
+	b, _ := (TopKCodec{Frac: 1}).Encode(v)
+	b[4] = 0xFF // corrupt first index
+	if _, err := (TopKCodec{Frac: 1}).Decode(b, 4); err == nil {
+		t.Fatal("corrupt index must fail")
+	}
+}
+
+// Property: every codec's relative error is bounded and ratio-ordered —
+// float32 ≈ exact < int8 < topk(0.2).
+func TestErrorOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomVec(seed, 128)
+		e32, err := Error(Float32Codec{}, v)
+		if err != nil {
+			return false
+		}
+		e8, err := Error(Int8Codec{}, v)
+		if err != nil {
+			return false
+		}
+		ek, err := Error(TopKCodec{Frac: 0.2}, v)
+		if err != nil {
+			return false
+		}
+		return e32 < 1e-6 && e8 < 0.02 && ek > e8 && ek <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ratios reflect actual payload sizes.
+func TestRatiosMatchPayloads(t *testing.T) {
+	v := randomVec(9, 1000)
+	for _, c := range []Codec{Float32Codec{}, Int8Codec{}, TopKCodec{Frac: 0.1}} {
+		b, err := c.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perParam := float64(len(b)) / 1000
+		if perParam > c.Ratio()*1.2+0.1 {
+			t.Fatalf("%s payload %.2f B/param exceeds declared ratio %.2f", c.Name(), perParam, c.Ratio())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Float32Codec{}).Name() == "" || (Int8Codec{}).Name() == "" || (TopKCodec{Frac: 0.5}).Name() == "" {
+		t.Fatal("empty codec name")
+	}
+}
+
+func TestErrorZeroVector(t *testing.T) {
+	v := tensor.New(16)
+	e, err := Error(Int8Codec{}, v)
+	if err != nil || e != 0 {
+		t.Fatalf("zero vector error %v %v", e, err)
+	}
+}

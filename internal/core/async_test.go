@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fedmigr/internal/edgenet"
+)
+
+func asyncSetup(t *testing.T, k int, iid bool, seed int64) ([]*Client, *AsyncTrainer) {
+	t.Helper()
+	clients, _, test, factory := buildSetup(t, k, 2, iid, seed)
+	tr, err := NewAsyncTrainer(AsyncConfig{
+		MaxUpdates: 40, EvalEvery: 5, LR: 0.1, Seed: seed,
+	}, clients, nil, test, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clients, tr
+}
+
+func TestAsyncValidation(t *testing.T) {
+	clients, _, test, factory := buildSetup(t, 3, 1, true, 31)
+	if _, err := NewAsyncTrainer(AsyncConfig{}, nil, nil, test, factory); err == nil {
+		t.Fatal("nil clients must fail")
+	}
+	if _, err := NewAsyncTrainer(AsyncConfig{}, clients, nil, test, nil); err == nil {
+		t.Fatal("nil factory must fail")
+	}
+}
+
+func TestAsyncLearns(t *testing.T) {
+	_, tr := asyncSetup(t, 4, true, 32)
+	res := tr.Run()
+	if res.Epochs != 40 {
+		t.Fatalf("merged %d updates, want 40", res.Epochs)
+	}
+	if res.FinalAcc < 0.5 {
+		t.Fatalf("async accuracy %v too low", res.FinalAcc)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("NaN loss")
+	}
+}
+
+func TestAsyncAccountsTrafficAndTime(t *testing.T) {
+	_, tr := asyncSetup(t, 4, true, 33)
+	res := tr.Run()
+	// Every merge is preceded by an upload and followed by a download,
+	// plus the initial K downloads: traffic must reflect that.
+	size := tr.GlobalModel().ByteSize()
+	wantMin := size * int64(4+2*res.Epochs)
+	if res.Snapshot.TotalBytes < wantMin {
+		t.Fatalf("traffic %d below minimum %d", res.Snapshot.TotalBytes, wantMin)
+	}
+	if res.Snapshot.WallSeconds <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+	// All async communication is C2S.
+	if res.Snapshot.LocalBytes != 0 {
+		t.Fatal("async trainer must not record C2C traffic")
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	_, tr1 := asyncSetup(t, 4, false, 34)
+	_, tr2 := asyncSetup(t, 4, false, 34)
+	a, b := tr1.Run(), tr2.Run()
+	if a.FinalLoss != b.FinalLoss || a.FinalAcc != b.FinalAcc || a.Snapshot != b.Snapshot {
+		t.Fatal("async run must be deterministic under a fixed seed")
+	}
+}
+
+func TestAsyncTargetAccuracyStops(t *testing.T) {
+	clients, _, test, factory := buildSetup(t, 4, 2, true, 35)
+	tr, err := NewAsyncTrainer(AsyncConfig{
+		MaxUpdates: 200, EvalEvery: 2, LR: 0.1, TargetAccuracy: 0.4, Seed: 35,
+	}, clients, nil, test, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.Run()
+	if !res.ReachedTarget {
+		t.Fatal("expected target reached")
+	}
+	if res.Epochs >= 200 {
+		t.Fatal("should stop early")
+	}
+}
+
+func TestAsyncBandwidthBudgetStops(t *testing.T) {
+	clients, _, test, factory := buildSetup(t, 4, 2, true, 36)
+	tr, err := NewAsyncTrainer(AsyncConfig{
+		MaxUpdates: 200, BandwidthBudget: 1, Seed: 36,
+	}, clients, nil, test, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.Run()
+	if !res.BudgetExhausted {
+		t.Fatal("expected budget stop")
+	}
+}
+
+func TestAsyncHeterogeneousClientsMergeUnevenly(t *testing.T) {
+	// A 4x faster client should contribute far more merges.
+	clients, _, test, factory := buildSetup(t, 2, 1, true, 37)
+	cost := edgenet.DefaultCostModel()
+	cost.ComputeRate = []float64{8000, 500}
+	tr, err := NewAsyncTrainer(AsyncConfig{MaxUpdates: 30, Seed: 37}, clients, cost, test, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count merges per client by instrumenting through version arithmetic:
+	// run and inspect the event history indirectly via accountant
+	// transfers: every client merge adds 2 transfers beyond the initial
+	// download; we can't attribute per client from the snapshot, so assert
+	// through wall time instead: the run must finish sooner than if both
+	// clients were slow.
+	res := tr.Run()
+	if res.Epochs != 30 {
+		t.Fatalf("merged %d", res.Epochs)
+	}
+	slowCost := edgenet.DefaultCostModel()
+	slowCost.ComputeRate = []float64{500, 500}
+	clients2, _, test2, factory2 := buildSetup(t, 2, 1, true, 37)
+	tr2, err := NewAsyncTrainer(AsyncConfig{MaxUpdates: 30, Seed: 37}, clients2, slowCost, test2, factory2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := tr2.Run()
+	if res.Snapshot.WallSeconds >= res2.Snapshot.WallSeconds {
+		t.Fatalf("fast client should shorten the run: %v vs %v",
+			res.Snapshot.WallSeconds, res2.Snapshot.WallSeconds)
+	}
+}
+
+func TestAsyncEmptyClientSkipped(t *testing.T) {
+	clients, _, test, factory := buildSetup(t, 3, 1, true, 38)
+	clients[1].Data = clients[1].Data.Subset(nil)
+	tr, err := NewAsyncTrainer(AsyncConfig{MaxUpdates: 10, Seed: 38}, clients, nil, test, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.Run()
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("empty client produced NaN")
+	}
+}

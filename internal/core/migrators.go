@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sort"
+
+	"fedmigr/internal/edgenet"
+	"fedmigr/internal/qp"
+	"fedmigr/internal/tensor"
+)
+
+// StayMigrator never moves any model — the degenerate policy that reduces
+// FedMigr to periodic-averaging local SGD (the paper's worst-case cost
+// guarantee of Sec. III-E1).
+type StayMigrator struct{}
+
+// Plan implements Migrator.
+func (StayMigrator) Plan(s *State) []int { return append([]int(nil), s.Locations...) }
+
+// Feedback implements Migrator.
+func (StayMigrator) Feedback(*State, []int, *State, bool, bool) {}
+
+// RandomMigrator sends every model to a uniformly random active client
+// (possibly itself) — the RandMigr baseline and the random strategy of the
+// convergence analysis (Sec. II-C).
+type RandomMigrator struct {
+	rng *tensor.RNG
+}
+
+// NewRandomMigrator returns a seeded random policy.
+func NewRandomMigrator(seed int64) *RandomMigrator {
+	return &RandomMigrator{rng: tensor.NewRNG(seed)}
+}
+
+// Plan implements Migrator.
+func (r *RandomMigrator) Plan(s *State) []int {
+	actives := activeClients(s)
+	dest := make([]int, s.K())
+	for m := range dest {
+		if len(actives) == 0 {
+			dest[m] = s.Locations[m]
+			continue
+		}
+		dest[m] = actives[r.rng.Intn(len(actives))]
+	}
+	return dest
+}
+
+// Feedback implements Migrator.
+func (r *RandomMigrator) Feedback(*State, []int, *State, bool, bool) {}
+
+// CrossLANMigrator migrates every model to a random active client in a
+// different LAN — the "migration cross LANs" strategy of Fig. 3, which
+// moves models toward the most different data distributions.
+type CrossLANMigrator struct {
+	topo *edgenet.Topology
+	rng  *tensor.RNG
+}
+
+// NewCrossLANMigrator returns a seeded cross-LAN policy over topo.
+func NewCrossLANMigrator(topo *edgenet.Topology, seed int64) *CrossLANMigrator {
+	return &CrossLANMigrator{topo: topo, rng: tensor.NewRNG(seed)}
+}
+
+// Plan implements Migrator.
+func (c *CrossLANMigrator) Plan(s *State) []int {
+	dest := make([]int, s.K())
+	for m := range dest {
+		src := s.Locations[m]
+		var cands []int
+		for j := range s.Active {
+			if s.Active[j] && !c.topo.SameLAN(src, j) {
+				cands = append(cands, j)
+			}
+		}
+		if len(cands) == 0 {
+			dest[m] = src
+			continue
+		}
+		dest[m] = cands[c.rng.Intn(len(cands))]
+	}
+	return dest
+}
+
+// Feedback implements Migrator.
+func (c *CrossLANMigrator) Feedback(*State, []int, *State, bool, bool) {}
+
+// WithinLANMigrator migrates every model to a random active client inside
+// its current LAN — the "migration within LANs" strategy of Fig. 3, which
+// is cheap but barely changes the data a model sees.
+type WithinLANMigrator struct {
+	topo *edgenet.Topology
+	rng  *tensor.RNG
+}
+
+// NewWithinLANMigrator returns a seeded within-LAN policy over topo.
+func NewWithinLANMigrator(topo *edgenet.Topology, seed int64) *WithinLANMigrator {
+	return &WithinLANMigrator{topo: topo, rng: tensor.NewRNG(seed)}
+}
+
+// Plan implements Migrator.
+func (w *WithinLANMigrator) Plan(s *State) []int {
+	dest := make([]int, s.K())
+	for m := range dest {
+		src := s.Locations[m]
+		var cands []int
+		for j := range s.Active {
+			if s.Active[j] && j != src && w.topo.SameLAN(src, j) {
+				cands = append(cands, j)
+			}
+		}
+		if len(cands) == 0 {
+			dest[m] = src
+			continue
+		}
+		dest[m] = cands[w.rng.Intn(len(cands))]
+	}
+	return dest
+}
+
+// Feedback implements Migrator.
+func (w *WithinLANMigrator) Feedback(*State, []int, *State, bool, bool) {}
+
+// GreedyEMDMigrator sends each model to the active client whose label
+// distribution differs most from the model's current effective mixture,
+// discounted by transfer cost — a deterministic oracle useful for tests
+// and as an ablation against the learned policy. The assignment is
+// load-balanced: each destination hosts at most one migrated model per
+// event, so models spread over the network instead of piling onto the
+// single most-different client (which would recreate the data skew the
+// migration is meant to dissolve).
+type GreedyEMDMigrator struct {
+	// CostWeight trades EMD benefit against transfer seconds.
+	CostWeight float64
+}
+
+// Plan implements Migrator: a greedy maximum-benefit matching. Models are
+// processed in order of their best achievable benefit; each takes the
+// highest-benefit destination with free capacity, or stays put when no
+// assignment improves on staying.
+func (g *GreedyEMDMigrator) Plan(s *State) []int {
+	k := s.K()
+	dest := make([]int, k)
+	copy(dest, s.Locations)
+
+	type cand struct {
+		model, dst int
+		score      float64
+	}
+	best := make([]cand, 0, k)
+	for m := 0; m < k; m++ {
+		src := s.Locations[m]
+		if !s.Active[src] {
+			continue
+		}
+		c := cand{model: m, dst: src, score: 0}
+		for j := range s.Active {
+			if !s.Active[j] {
+				continue
+			}
+			score := s.D[m][j] - g.CostWeight*s.CostSeconds[src][j]
+			if score > c.score {
+				c.dst, c.score = j, score
+			}
+		}
+		best = append(best, c)
+	}
+	sort.Slice(best, func(a, b int) bool { return best[a].score > best[b].score })
+
+	taken := make([]bool, k)
+	for _, c := range best {
+		if c.dst == s.Locations[c.model] {
+			continue // staying needs no capacity
+		}
+		if taken[c.dst] {
+			// First choice is full: take the best remaining free
+			// destination that still beats staying.
+			src := s.Locations[c.model]
+			alt, altScore := -1, 0.0
+			for j := range s.Active {
+				if !s.Active[j] || taken[j] || j == src {
+					continue
+				}
+				score := s.D[c.model][j] - g.CostWeight*s.CostSeconds[src][j]
+				if score > altScore {
+					alt, altScore = j, score
+				}
+			}
+			if alt < 0 {
+				continue
+			}
+			c.dst = alt
+		}
+		dest[c.model] = c.dst
+		taken[c.dst] = true
+	}
+	return dest
+}
+
+// Feedback implements Migrator.
+func (g *GreedyEMDMigrator) Feedback(*State, []int, *State, bool, bool) {}
+
+func activeClients(s *State) []int {
+	var out []int
+	for j, a := range s.Active {
+		if a {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// OptimalAssignmentMigrator solves each migration event's assignment
+// exactly (Hungarian algorithm over benefit = EMD gain − cost penalty),
+// assigning every model to a distinct destination. It upper-bounds what
+// any one-destination-per-client policy — greedy, random or learned — can
+// extract from a single event, at O(K³) per event.
+type OptimalAssignmentMigrator struct {
+	// CostWeight trades EMD benefit against transfer seconds.
+	CostWeight float64
+}
+
+// Plan implements Migrator.
+func (o *OptimalAssignmentMigrator) Plan(s *State) []int {
+	k := s.K()
+	util := make([][]float64, k)
+	for m := 0; m < k; m++ {
+		src := s.Locations[m]
+		util[m] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			if !s.Active[j] || !s.Active[src] {
+				// Keep inactive endpoints out: staying scores 0, any
+				// invalid move scores far below.
+				if j == src {
+					util[m][j] = 0
+				} else {
+					util[m][j] = -1e9
+				}
+				continue
+			}
+			util[m][j] = s.D[m][j] - o.CostWeight*s.CostSeconds[src][j]
+		}
+	}
+	dest, _, err := qp.SolveAssignment(util)
+	if err != nil {
+		return append([]int(nil), s.Locations...)
+	}
+	// Never execute a move that is worse than staying.
+	for m, d := range dest {
+		if util[m][d] < 0 {
+			dest[m] = s.Locations[m]
+		}
+	}
+	return dest
+}
+
+// Feedback implements Migrator.
+func (o *OptimalAssignmentMigrator) Feedback(*State, []int, *State, bool, bool) {}

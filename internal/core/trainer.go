@@ -1,0 +1,618 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fedmigr/internal/data"
+	"fedmigr/internal/edgenet"
+	"fedmigr/internal/nn"
+	"fedmigr/internal/stats"
+	"fedmigr/internal/tensor"
+)
+
+// Trainer runs one federated-training experiment: K clients over an edge
+// topology, a global model at the server, and a scheme-specific event
+// schedule of local updates, migrations/swaps and aggregations.
+type Trainer struct {
+	cfg     Config
+	clients []*Client
+	topo    *edgenet.Topology
+	cost    *edgenet.CostModel
+	acct    *edgenet.Accountant
+	test    *data.Dataset
+
+	factory      ModelFactory
+	global       *nn.Sequential
+	models       []*nn.Sequential
+	opts         []*nn.SGD
+	loc          []int // model m → hosting client
+	active       []bool
+	participants []bool // per-round α-selection (Sec. II-A)
+	migrator     Migrator
+
+	// effDist[m] is the effective label distribution model m has trained
+	// on so far; effSeen[m] is its accumulated sample weight. Together
+	// they realize Eq. (12)'s "virtual dataset" and feed the D_t matrix.
+	effDist    []stats.Distribution
+	effSeen    []float64
+	clientDist []stats.Distribution
+
+	rng       *tensor.RNG
+	epoch     int
+	round     int
+	lastLoss  float64
+	prevLoss  float64
+	history   []RoundMetrics
+	pending   *pendingFeedback
+	modelSize int64
+}
+
+type pendingFeedback struct {
+	prev   State
+	action []int
+}
+
+// NewTrainer assembles a trainer. clients, topo and factory are required;
+// test may be nil (accuracy evaluations then return 0). migrator is
+// required only for RandMigr/FedMigr schemes.
+func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edgenet.CostModel, test *data.Dataset, factory ModelFactory, migrator Migrator) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("core: no clients")
+	}
+	if topo == nil || topo.K() != len(clients) {
+		return nil, fmt.Errorf("core: topology/client count mismatch")
+	}
+	if cost == nil {
+		cost = edgenet.DefaultCostModel()
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("core: nil model factory")
+	}
+	needsMigrator := cfg.Scheme == RandMigr || cfg.Scheme == FedMigr
+	if needsMigrator && migrator == nil {
+		return nil, fmt.Errorf("core: scheme %v requires a migrator", cfg.Scheme)
+	}
+	t := &Trainer{
+		cfg:      cfg,
+		clients:  clients,
+		topo:     topo,
+		cost:     cost,
+		acct:     edgenet.NewAccountant(),
+		test:     test,
+		factory:  factory,
+		migrator: migrator,
+		rng:      tensor.NewRNG(cfg.Seed),
+	}
+	t.global = factory()
+	t.modelSize = t.global.ByteSize()
+	k := len(clients)
+	t.models = make([]*nn.Sequential, k)
+	t.opts = make([]*nn.SGD, k)
+	t.loc = make([]int, k)
+	t.active = make([]bool, k)
+	t.participants = make([]bool, k)
+	t.effDist = make([]stats.Distribution, k)
+	t.effSeen = make([]float64, k)
+	t.clientDist = make([]stats.Distribution, k)
+	for m := 0; m < k; m++ {
+		t.models[m] = factory()
+		t.models[m].CopyParamsFrom(t.global)
+		t.opts[m] = nn.NewSGDMomentum(cfg.LR, cfg.Momentum)
+		t.loc[m] = m
+		t.active[m] = true
+		t.participants[m] = true
+		t.clientDist[m] = clients[m].Data.LabelDistribution()
+		t.effDist[m] = t.clientDist[m]
+		t.effSeen[m] = float64(clients[m].Data.Len())
+	}
+	return t, nil
+}
+
+// Accountant exposes the run's resource accounting.
+func (t *Trainer) Accountant() *edgenet.Accountant { return t.acct }
+
+// Epoch returns the current epoch index.
+func (t *Trainer) Epoch() int { return t.epoch }
+
+// Locations returns the current model→client hosting map (a copy).
+func (t *Trainer) Locations() []int { return append([]int(nil), t.loc...) }
+
+// GlobalModel returns the server's current global model.
+func (t *Trainer) GlobalModel() *nn.Sequential { return t.global }
+
+// Models returns the live model replicas, indexed by model id. Callers
+// must treat them as read-only.
+func (t *Trainer) Models() []*nn.Sequential { return t.models }
+
+// EffectiveDistributions returns a copy of every replica's effective
+// training mixture (Eq. 12's virtual-dataset distribution).
+func (t *Trainer) EffectiveDistributions() []stats.Distribution {
+	out := make([]stats.Distribution, len(t.effDist))
+	for i, d := range t.effDist {
+		out[i] = append(stats.Distribution(nil), d...)
+	}
+	return out
+}
+
+// SetActive marks a client as participating or departed. Models hosted by
+// an inactive client are parked: they neither train nor move until the
+// client returns or a migration relocates them.
+func (t *Trainer) SetActive(client int, active bool) {
+	if client < 0 || client >= len(t.active) {
+		panic(fmt.Sprintf("core: SetActive(%d) out of range", client))
+	}
+	t.active[client] = active
+}
+
+// totalWeight returns the aggregation normalizer N (active home datasets).
+func (t *Trainer) totalWeight() float64 {
+	n := 0.0
+	for _, c := range t.clients {
+		n += float64(c.Data.Len())
+	}
+	return n
+}
+
+// snapshotState builds the migrator-facing environment snapshot. D[m][j]
+// is the EMD between model m's effective training mixture (Eq. 12) and
+// client j's local data distribution — the quantity a migration of m to j
+// would start reducing.
+func (t *Trainer) snapshotState(epochCompute float64, epochBytes int64) State {
+	k := len(t.clients)
+	d := make([][]float64, k)
+	for m := 0; m < k; m++ {
+		d[m] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			d[m][j] = stats.EMD(t.effDist[m], t.clientDist[j])
+		}
+	}
+	costSec := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		costSec[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			costSec[i][j] = t.cost.TransferTime(i, j, t.topo.Kind(i, j), t.modelSize)
+		}
+	}
+	snap := t.acct.Snapshot()
+	return State{
+		Epoch:               t.epoch,
+		Loss:                t.lastLoss,
+		PrevLoss:            t.prevLoss,
+		D:                   d,
+		Locations:           append([]int(nil), t.loc...),
+		Active:              engagedMask(t),
+		CostSeconds:         costSec,
+		ComputeUsed:         snap.ComputeSecs,
+		ComputeBudget:       t.cfg.ComputeBudget,
+		BytesUsed:           snap.TotalBytes,
+		BytesBudget:         t.cfg.BandwidthBudget,
+		EpochComputeSeconds: epochCompute,
+		EpochBytes:          epochBytes,
+	}
+}
+
+// localEpoch runs one local training epoch for every model on its hosting
+// client's data, returning the average loss and charging compute time.
+func (t *Trainer) localEpoch() float64 {
+	k := len(t.models)
+	perClientTime := make([]float64, k)
+	lossSum, lossN := 0.0, 0
+	var globalVec *tensor.Tensor
+	if t.cfg.Scheme == FedProx && t.cfg.ProxMu > 0 {
+		globalVec = t.global.ParamVector()
+	}
+	if t.cfg.LRSchedule != nil {
+		lr := t.cfg.LRSchedule.LR(t.epoch)
+		for _, opt := range t.opts {
+			opt.LR = lr
+		}
+	}
+	for m := 0; m < k; m++ {
+		host := t.loc[m]
+		if !t.engaged(host) {
+			continue
+		}
+		ds := t.clients[host].Data
+		if ds.Len() == 0 {
+			continue
+		}
+		lossSum += t.trainOneEpoch(t.models[m], t.opts[m], ds, globalVec)
+		lossN++
+		perClientTime[host] += t.cost.ComputeTime(host, ds.Len())
+		// Fold the host's distribution into the model's effective mixture.
+		n := float64(ds.Len())
+		mix := make(stats.Distribution, len(t.effDist[m]))
+		hostDist := ds.LabelDistribution()
+		tot := t.effSeen[m] + n
+		for i := range mix {
+			mix[i] = (t.effDist[m][i]*t.effSeen[m] + hostDist[i]*n) / tot
+		}
+		t.effDist[m] = mix
+		t.effSeen[m] = tot
+	}
+	wall, device := 0.0, 0.0
+	for _, s := range perClientTime {
+		device += s
+		if s > wall {
+			wall = s
+		}
+	}
+	t.acct.AddWallTime(wall)
+	t.acct.AddComputeTime(device)
+	if lossN == 0 {
+		return t.lastLoss
+	}
+	return lossSum / float64(lossN)
+}
+
+// trainOneEpoch runs τ=1 pass of mini-batch SGD of model over ds,
+// optionally adding the FedProx proximal gradient μ(w − w_g).
+func (t *Trainer) trainOneEpoch(model *nn.Sequential, opt *nn.SGD, ds *data.Dataset, globalVec *tensor.Tensor) float64 {
+	b := t.cfg.BatchSize
+	lossSum, nb := 0.0, 0
+	for lo := 0; lo < ds.Len(); lo += b {
+		hi := lo + b
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		x, y := ds.Batch(lo, hi)
+		model.ZeroGrad()
+		out := model.Forward(x, true)
+		loss, grad := nn.CrossEntropy(out, y)
+		model.Backward(grad)
+		if globalVec != nil {
+			t.addProxGrad(model, globalVec)
+		}
+		opt.Step(model)
+		lossSum += loss
+		nb++
+	}
+	if nb == 0 {
+		return 0
+	}
+	return lossSum / float64(nb)
+}
+
+// addProxGrad adds μ(w − w_g) to the accumulated gradients (FedProx).
+func (t *Trainer) addProxGrad(model *nn.Sequential, globalVec *tensor.Tensor) {
+	mu := t.cfg.ProxMu
+	ps, gs := model.Params()
+	off := 0
+	gv := globalVec.Data()
+	for i, p := range ps {
+		pd, gd := p.Data(), gs[i].Data()
+		for j := range pd {
+			gd[j] += mu * (pd[j] - gv[off+j])
+		}
+		off += p.Size()
+	}
+}
+
+// selectParticipants draws the α-fraction of clients taking part in the
+// next global iteration (all clients when ClientFraction is 0 or 1).
+func (t *Trainer) selectParticipants() {
+	k := len(t.clients)
+	frac := t.cfg.ClientFraction
+	if frac <= 0 || frac >= 1 {
+		for i := range t.participants {
+			t.participants[i] = true
+		}
+		return
+	}
+	n := int(frac * float64(k))
+	if n < 1 {
+		n = 1
+	}
+	perm := t.rng.Perm(k)
+	for i := range t.participants {
+		t.participants[i] = false
+	}
+	for _, i := range perm[:n] {
+		t.participants[i] = true
+	}
+}
+
+// engaged reports whether client c both participates this round and is
+// currently active.
+func (t *Trainer) engaged(c int) bool { return t.active[c] && t.participants[c] }
+
+// distribute sends the global model to every active client and resets all
+// replica locations home (Model Distribution).
+func (t *Trainer) distribute() {
+	t.selectParticipants()
+	maxT := 0.0
+	for m := range t.models {
+		t.models[m].CopyParamsFrom(t.global)
+		t.loc[m] = m
+		// A fresh global copy restarts the replica's virtual dataset
+		// (Eq. 12) from its home distribution.
+		t.effDist[m] = t.clients[m].Data.LabelDistribution()
+		t.effSeen[m] = float64(t.clients[m].Data.Len())
+		if !t.engaged(m) {
+			continue
+		}
+		t.acct.RecordTransfer(m, m, edgenet.C2S, t.modelSize)
+		if tt := t.cost.TransferTime(m, m, edgenet.C2S, t.modelSize); tt > maxT {
+			maxT = tt
+		}
+	}
+	t.acct.AddWallTime(maxT)
+}
+
+// aggregate uploads every replica from its current host to the server and
+// forms the weighted average (Global Aggregation, Eq. 7).
+func (t *Trainer) aggregate() {
+	maxT := 0.0
+	// Normalize over the replicas whose home clients participate this
+	// round: with α < 1 only the selected clients' updates form the new
+	// global model (Sec. II-A).
+	n := 0.0
+	for m := range t.models {
+		if t.participants[m] {
+			n += float64(t.clients[m].Data.Len())
+		}
+	}
+	if n == 0 {
+		t.round++
+		return
+	}
+	agg := tensor.New(t.global.NumParams())
+	for m, model := range t.models {
+		if !t.participants[m] {
+			continue
+		}
+		host := t.loc[m]
+		if t.active[host] {
+			if t.cfg.Privacy.Enabled() {
+				t.cfg.Privacy.Sanitize(model)
+			}
+			t.acct.RecordTransfer(host, host, edgenet.C2S, t.modelSize)
+			if tt := t.cost.TransferTime(host, host, edgenet.C2S, t.modelSize); tt > maxT {
+				maxT = tt
+			}
+		}
+		w := float64(t.clients[m].Data.Len()) / n
+		agg.AddScaledInPlace(model.ParamVector(), w)
+	}
+	t.acct.AddWallTime(maxT)
+	t.global.SetParamVector(agg)
+	t.round++
+}
+
+// migrate executes one Model Migration event under the configured policy
+// and returns the action taken (nil when the scheme has no event here).
+func (t *Trainer) migrate(st *State) []int {
+	switch t.cfg.Scheme {
+	case FedSwap:
+		t.swapAtServer()
+		return nil
+	case RandMigr, FedMigr:
+		dest := t.migrator.Plan(st)
+		if len(dest) != len(t.models) {
+			panic(fmt.Sprintf("core: migrator returned %d destinations for %d models", len(dest), len(t.models)))
+		}
+		maxT := 0.0
+		for m, d := range dest {
+			src := t.loc[m]
+			if d == src {
+				continue
+			}
+			if d < 0 || d >= len(t.clients) || !t.engaged(d) || !t.engaged(src) {
+				// Invalid or inactive endpoint: the model stays put. The
+				// DRL agent learns this through zero benefit.
+				dest[m] = src
+				continue
+			}
+			kind := t.topo.Kind(src, d)
+			if t.cfg.Privacy.Enabled() {
+				t.cfg.Privacy.Sanitize(t.models[m])
+			}
+			t.acct.RecordTransfer(src, d, kind, t.modelSize)
+			if tt := t.cost.TransferTime(src, d, kind, t.modelSize); tt > maxT {
+				maxT = tt
+			}
+			t.loc[m] = d
+		}
+		t.acct.AddWallTime(maxT)
+		return dest
+	default:
+		// FedAvg / FedProx with AggEvery > 1 degenerate to periodic-
+		// averaging local SGD: no event.
+		return nil
+	}
+}
+
+// swapAtServer pairs active clients randomly and exchanges their models
+// through the parameter server: each swapped model costs an upload and a
+// download over the C2S WAN.
+func (t *Trainer) swapAtServer() {
+	var idx []int
+	for m := range t.models {
+		if t.engaged(t.loc[m]) {
+			idx = append(idx, m)
+		}
+	}
+	t.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	maxT := 0.0
+	for i := 0; i+1 < len(idx); i += 2 {
+		a, b := idx[i], idx[i+1]
+		la, lb := t.loc[a], t.loc[b]
+		if t.cfg.Privacy.Enabled() {
+			t.cfg.Privacy.Sanitize(t.models[a])
+			t.cfg.Privacy.Sanitize(t.models[b])
+		}
+		// Up to the server and back down to the counterpart.
+		for _, host := range []int{la, lb} {
+			t.acct.RecordTransfer(host, host, edgenet.C2S, t.modelSize)
+			t.acct.RecordTransfer(host, host, edgenet.C2S, t.modelSize)
+			up := t.cost.TransferTime(host, host, edgenet.C2S, t.modelSize)
+			if 2*up > maxT {
+				maxT = 2 * up
+			}
+		}
+		t.loc[a], t.loc[b] = lb, la
+	}
+	t.acct.AddWallTime(maxT)
+}
+
+// evaluate computes test accuracy of the sample-weighted average of all
+// replicas (instrumentation only — no traffic is charged).
+func (t *Trainer) evaluate() float64 {
+	if t.test == nil || t.test.Len() == 0 {
+		return 0
+	}
+	avg := t.factory()
+	vec := tensor.New(avg.NumParams())
+	n := t.totalWeight()
+	for m, model := range t.models {
+		w := float64(t.clients[m].Data.Len()) / n
+		vec.AddScaledInPlace(model.ParamVector(), w)
+	}
+	avg.SetParamVector(vec)
+	const evalBatch = 256
+	correct, total := 0.0, 0
+	for lo := 0; lo < t.test.Len(); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > t.test.Len() {
+			hi = t.test.Len()
+		}
+		x, y := t.test.Batch(lo, hi)
+		out := avg.Forward(x, false)
+		correct += nn.Accuracy(out, y) * float64(hi-lo)
+		total += hi - lo
+	}
+	return correct / float64(total)
+}
+
+// engagedMask combines churn state with the round's α-selection: migration
+// policies may only route models among clients that are both active and
+// participating.
+func engagedMask(t *Trainer) []bool {
+	out := make([]bool, len(t.active))
+	for i := range out {
+		out[i] = t.engaged(i)
+	}
+	return out
+}
+
+// budgetExceeded reports whether any configured budget is exhausted.
+func (t *Trainer) budgetExceeded() bool {
+	snap := t.acct.Snapshot()
+	if t.cfg.ComputeBudget > 0 && snap.ComputeSecs >= t.cfg.ComputeBudget {
+		return true
+	}
+	if t.cfg.BandwidthBudget > 0 && snap.TotalBytes >= t.cfg.BandwidthBudget {
+		return true
+	}
+	if t.cfg.TimeBudget > 0 && snap.WallSeconds >= t.cfg.TimeBudget {
+		return true
+	}
+	return false
+}
+
+// Run executes the training loop to completion and returns the result.
+func (t *Trainer) Run() *Result {
+	cfg := t.cfg
+	res := &Result{}
+	t.lastLoss = math.Inf(1)
+	t.prevLoss = math.Inf(1)
+	lastAcc := 0.0
+
+	// Initial distribution of the (random) global model.
+	t.distribute()
+
+	eventsPerRound := cfg.AggEvery
+	stop := false
+	var stopSuccess bool
+	for !stop && t.epoch < cfg.MaxEpochs {
+		preSnap := t.acct.Snapshot()
+		// τ local epochs form one event's training phase.
+		var loss float64
+		for i := 0; i < cfg.Tau && t.epoch < cfg.MaxEpochs; i++ {
+			loss = t.localEpoch()
+			t.prevLoss, t.lastLoss = t.lastLoss, loss
+			if math.IsInf(t.prevLoss, 1) {
+				t.prevLoss = loss
+			}
+			t.epoch++
+			if cfg.EvalEvery > 0 && t.epoch%cfg.EvalEvery == 0 {
+				lastAcc = t.evaluate()
+				t.history = append(t.history, RoundMetrics{
+					Epoch: t.epoch, Round: t.round, TrainLoss: loss,
+					TestAcc: lastAcc, Snapshot: t.acct.Snapshot(),
+				})
+				if cfg.TargetAccuracy > 0 && lastAcc >= cfg.TargetAccuracy {
+					stop, stopSuccess = true, true
+				}
+			}
+			if t.budgetExceeded() {
+				stop = true
+				res.BudgetExhausted = true
+			}
+			if stop {
+				break
+			}
+		}
+		post := t.acct.Snapshot()
+		epochCompute := post.ComputeSecs - preSnap.ComputeSecs
+		epochBytes := post.TotalBytes - preSnap.TotalBytes
+		st := t.snapshotState(epochCompute, epochBytes)
+
+		// Deliver the feedback for the previous action now that its τ
+		// training epochs have landed.
+		if t.pending != nil && t.migrator != nil {
+			t.migrator.Feedback(&t.pending.prev, t.pending.action, &st, stop, stopSuccess)
+			t.pending = nil
+		}
+		if stop || t.epoch >= cfg.MaxEpochs {
+			break
+		}
+
+		// Event boundary: migration/swap on all but the round's last
+		// event, aggregation + redistribution on the last.
+		eventIdx := (t.epoch / cfg.Tau) % eventsPerRound
+		if eventIdx == 0 {
+			t.aggregate()
+			t.distribute()
+		} else {
+			action := t.migrate(&st)
+			if action != nil && t.migrator != nil {
+				t.pending = &pendingFeedback{prev: st, action: action}
+			}
+		}
+		if t.budgetExceeded() {
+			res.BudgetExhausted = true
+			break
+		}
+	}
+
+	// Terminal feedback if an action is still pending.
+	if t.pending != nil && t.migrator != nil {
+		st := t.snapshotState(0, 0)
+		t.migrator.Feedback(&t.pending.prev, t.pending.action, &st, true, stopSuccess)
+		t.pending = nil
+	}
+
+	if len(t.history) == 0 || t.history[len(t.history)-1].Epoch != t.epoch {
+		lastAcc = t.evaluate()
+		t.history = append(t.history, RoundMetrics{
+			Epoch: t.epoch, Round: t.round, TrainLoss: t.lastLoss,
+			TestAcc: lastAcc, Snapshot: t.acct.Snapshot(),
+		})
+	}
+	res.History = t.history
+	res.FinalLoss = t.lastLoss
+	res.FinalAcc = lastAcc
+	res.Epochs = t.epoch
+	res.ReachedTarget = stopSuccess
+	res.Snapshot = t.acct.Snapshot()
+	return res
+}

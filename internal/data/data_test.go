@@ -1,0 +1,303 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedmigr/internal/stats"
+	"fedmigr/internal/tensor"
+)
+
+func TestSyntheticShapesAndLabels(t *testing.T) {
+	train, test := Synthetic(SyntheticConfig{Classes: 4, PerClass: 10, Seed: 1})
+	if train.Len() != 40 {
+		t.Fatalf("train len %d", train.Len())
+	}
+	if test.Len() != 4*2 {
+		t.Fatalf("test len %d (default 1/5 per class)", test.Len())
+	}
+	c, h, w := train.Spec()
+	if c != 3 || h != 8 || w != 8 {
+		t.Fatalf("spec %d %d %d", c, h, w)
+	}
+	counts := make([]int, 4)
+	for _, y := range train.Y {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+		counts[y]++
+	}
+	for l, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10", l, n)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a, _ := Synthetic(SyntheticConfig{Classes: 3, PerClass: 5, Seed: 42})
+	b, _ := Synthetic(SyntheticConfig{Classes: 3, PerClass: 5, Seed: 42})
+	for i := range a.X.Data() {
+		if a.X.Data()[i] != b.X.Data()[i] {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c, _ := Synthetic(SyntheticConfig{Classes: 3, PerClass: 5, Seed: 43})
+	diff := false
+	for i := range a.X.Data() {
+		if a.X.Data()[i] != c.X.Data()[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestSyntheticClassesSeparated(t *testing.T) {
+	// Class means should be far apart relative to within-class noise, so a
+	// nearest-prototype classifier gets high accuracy — i.e. learnable.
+	train, test := Synthetic(SyntheticConfig{Classes: 5, PerClass: 40, Noise: 0.5, Seed: 7})
+	c, h, w := train.Spec()
+	dim := c * h * w
+	means := make([][]float64, 5)
+	counts := make([]int, 5)
+	for i := range means {
+		means[i] = make([]float64, dim)
+	}
+	for i, y := range train.Y {
+		row := train.X.Data()[i*dim : (i+1)*dim]
+		for j, v := range row {
+			means[y][j] += v
+		}
+		counts[y]++
+	}
+	for l := range means {
+		for j := range means[l] {
+			means[l][j] /= float64(counts[l])
+		}
+	}
+	correct := 0
+	for i, y := range test.Y {
+		row := test.X.Data()[i*dim : (i+1)*dim]
+		best, bl := math.Inf(1), -1
+		for l := range means {
+			d := 0.0
+			for j, v := range row {
+				dv := v - means[l][j]
+				d += dv * dv
+			}
+			if d < best {
+				best, bl = d, l
+			}
+		}
+		if bl == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.95 {
+		t.Fatalf("nearest-prototype accuracy %v — classes not separable", acc)
+	}
+}
+
+func TestSubsetIndependent(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 2, PerClass: 4, Seed: 2})
+	s := d.Subset([]int{0, 1})
+	s.X.Data()[0] = 999
+	if d.X.Data()[0] == 999 {
+		t.Fatal("Subset must copy data")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 2, PerClass: 4, Seed: 3})
+	x, y := d.Batch(2, 5)
+	if x.Dim(0) != 3 || len(y) != 3 {
+		t.Fatalf("batch sizes %v %d", x.Shape(), len(y))
+	}
+	if x.At(0, 0, 0, 0) != d.X.At(2, 0, 0, 0) {
+		t.Fatal("batch content mismatch")
+	}
+}
+
+func TestBatchPanicsOnBadRange(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 2, PerClass: 2, Seed: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Batch(3, 2)
+}
+
+func TestShufflePreservesPairs(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 3, PerClass: 6, Noise: 0.1, Seed: 5})
+	// Record (first pixel → label) association per sample before shuffling.
+	c, h, w := d.Spec()
+	dim := c * h * w
+	type pair struct {
+		px float64
+		y  int
+	}
+	before := make(map[float64]int, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		before[d.X.Data()[i*dim]] = d.Y[i]
+	}
+	d.Shuffle(tensor.NewRNG(6))
+	for i := 0; i < d.Len(); i++ {
+		if y, ok := before[d.X.Data()[i*dim]]; !ok || y != d.Y[i] {
+			t.Fatal("shuffle broke sample/label pairing")
+		}
+	}
+	_ = pair{}
+}
+
+func TestPartitionIIDBalanced(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 10, PerClass: 50, Seed: 8})
+	parts := PartitionIID(d, 5, tensor.NewRNG(1))
+	if len(parts) != 5 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	pop := d.LabelDistribution()
+	for _, p := range parts {
+		total += p.Len()
+		if p.Len() != 100 {
+			t.Fatalf("uneven IID part: %d", p.Len())
+		}
+		if emd := stats.EMD(p.LabelDistribution(), pop); emd > 0.5 {
+			t.Fatalf("IID partition EMD too high: %v", emd)
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("partition lost samples: %d vs %d", total, d.Len())
+	}
+}
+
+func TestPartitionShardsOneClassPerClient(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 10, PerClass: 30, Seed: 9})
+	parts := PartitionShards(d, 10, 1, tensor.NewRNG(2))
+	for i, p := range parts {
+		dist := p.LabelDistribution()
+		nonzero := 0
+		for _, v := range dist {
+			if v > 0 {
+				nonzero++
+			}
+		}
+		// One shard = one contiguous label range; with perClass*classes
+		// divisible by shards, each client sees exactly one class.
+		if nonzero > 2 {
+			t.Fatalf("client %d holds %d classes, want ≤2 (shard boundary)", i, nonzero)
+		}
+	}
+}
+
+func TestPartitionShardsFiveClasses(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 100, PerClass: 5, Seed: 10})
+	parts := PartitionShards(d, 20, 5, tensor.NewRNG(3))
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != d.Len() {
+		t.Fatalf("shards lost samples: %d vs %d", total, d.Len())
+	}
+}
+
+func TestPartitionDominanceLevels(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 10, PerClass: 100, Seed: 11})
+	pop := d.LabelDistribution()
+	prev := -1.0
+	for _, p := range []float64{0.1, 0.4, 0.8} {
+		parts := PartitionDominance(d, 10, p, tensor.NewRNG(4))
+		var worst float64
+		for _, part := range parts {
+			if e := stats.EMD(part.LabelDistribution(), pop); e > worst {
+				worst = e
+			}
+		}
+		if worst < prev {
+			t.Fatalf("dominance level %v should be at least as non-IID as lower levels (%v < %v)", p, worst, prev)
+		}
+		prev = worst
+	}
+}
+
+func TestPartitionDominanceConservesSamples(t *testing.T) {
+	f := func(seed int64) bool {
+		d, _ := Synthetic(SyntheticConfig{Classes: 5, PerClass: 20, Seed: seed})
+		parts := PartitionDominance(d, 4, 0.6, tensor.NewRNG(seed))
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+		}
+		return total == d.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionLANCorrelated(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 9, PerClass: 30, Seed: 12})
+	lanOf := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	parts := PartitionLANCorrelated(d, lanOf, tensor.NewRNG(5))
+	if len(parts) != 9 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	// Clients in the same LAN should have near-identical distributions;
+	// clients in different LANs should differ substantially.
+	same := stats.EMD(parts[0].LabelDistribution(), parts[1].LabelDistribution())
+	diff := stats.EMD(parts[0].LabelDistribution(), parts[3].LabelDistribution())
+	if same >= diff {
+		t.Fatalf("intra-LAN EMD %v should be below cross-LAN EMD %v", same, diff)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != d.Len() {
+		t.Fatalf("LAN partition lost samples: %d vs %d", total, d.Len())
+	}
+}
+
+func TestNamedDatasets(t *testing.T) {
+	c10, _ := C10Syn(5, 1)
+	if c10.Classes != 10 {
+		t.Fatalf("C10Syn classes %d", c10.Classes)
+	}
+	c100, _ := C100Syn(2, 1)
+	if c100.Classes != 100 {
+		t.Fatalf("C100Syn classes %d", c100.Classes)
+	}
+	inet, _ := INet100Syn(2, 1)
+	if inet.Classes != 100 {
+		t.Fatalf("INet100Syn classes %d", inet.Classes)
+	}
+	if _, h, _ := inet.Spec(); h != 10 {
+		t.Fatalf("INet100Syn height %d", h)
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 2, PerClass: 2, Seed: 1})
+	for name, fn := range map[string]func(){
+		"iid k=0":      func() { PartitionIID(d, 0, tensor.NewRNG(1)) },
+		"shards k=0":   func() { PartitionShards(d, 0, 1, tensor.NewRNG(1)) },
+		"dominance p":  func() { PartitionDominance(d, 2, 0, tensor.NewRNG(1)) },
+		"dominance p2": func() { PartitionDominance(d, 2, 1.5, tensor.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

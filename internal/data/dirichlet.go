@@ -1,0 +1,98 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"fedmigr/internal/tensor"
+)
+
+// PartitionDirichlet splits d across k clients with per-class Dirichlet(α)
+// proportions — the standard continuous non-IID dial of the FL literature
+// (Hsu et al.): α → ∞ approaches IID, α → 0 approaches one-client-per-
+// class. It complements the paper's shard and dominance partitions with a
+// smoothly tunable heterogeneity level.
+func PartitionDirichlet(d *Dataset, k int, alpha float64, g *tensor.RNG) []*Dataset {
+	if k <= 0 {
+		panic("data: PartitionDirichlet needs k > 0")
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("data: Dirichlet alpha must be positive, got %v", alpha))
+	}
+	byLabel := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byLabel[y] = append(byLabel[y], i)
+	}
+	assign := make([][]int, k)
+	for _, idx := range byLabel {
+		g.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		w := sampleDirichlet(g, alpha, k)
+		// Convert proportions to contiguous slice boundaries.
+		lo := 0
+		for c := 0; c < k; c++ {
+			hi := lo + int(math.Round(w[c]*float64(len(idx))))
+			if c == k-1 || hi > len(idx) {
+				hi = len(idx)
+			}
+			if hi > lo {
+				assign[c] = append(assign[c], idx[lo:hi]...)
+			}
+			lo = hi
+		}
+	}
+	parts := make([]*Dataset, k)
+	for c := range parts {
+		parts[c] = d.Subset(assign[c])
+	}
+	return parts
+}
+
+// sampleDirichlet draws one Dirichlet(α, …, α) sample of dimension k via
+// normalized Gamma(α, 1) variates.
+func sampleDirichlet(g *tensor.RNG, alpha float64, k int) []float64 {
+	w := make([]float64, k)
+	sum := 0.0
+	for i := range w {
+		w[i] = sampleGamma(g, alpha)
+		sum += w[i]
+	}
+	if sum <= 0 {
+		for i := range w {
+			w[i] = 1 / float64(k)
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// sampleGamma draws Gamma(shape, 1) using Marsaglia–Tsang for shape ≥ 1
+// and the boosting trick Gamma(a) = Gamma(a+1)·U^{1/a} for shape < 1.
+func sampleGamma(g *tensor.RNG, shape float64) float64 {
+	if shape < 1 {
+		u := g.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		return sampleGamma(g, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}

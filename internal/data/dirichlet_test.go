@@ -1,0 +1,99 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedmigr/internal/stats"
+	"fedmigr/internal/tensor"
+)
+
+func TestSampleGammaMean(t *testing.T) {
+	g := tensor.NewRNG(1)
+	for _, shape := range []float64{0.3, 1.0, 2.5, 7.0} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += sampleGamma(g, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.08*shape+0.02 {
+			t.Fatalf("Gamma(%v) sample mean %v", shape, mean)
+		}
+	}
+}
+
+func TestSampleDirichletIsDistribution(t *testing.T) {
+	g := tensor.NewRNG(2)
+	f := func(seed int64) bool {
+		r := tensor.NewRNG(seed)
+		k := 2 + r.Intn(8)
+		alpha := 0.1 + 5*r.Float64()
+		w := sampleDirichlet(r, alpha, k)
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+}
+
+func TestPartitionDirichletConservesSamples(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 5, PerClass: 40, Seed: 3})
+	parts := PartitionDirichlet(d, 6, 0.5, tensor.NewRNG(4))
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != d.Len() {
+		t.Fatalf("Dirichlet partition lost samples: %d vs %d", total, d.Len())
+	}
+}
+
+func TestPartitionDirichletAlphaControlsSkew(t *testing.T) {
+	// Small α → far from population; large α → close to population.
+	d, _ := Synthetic(SyntheticConfig{Classes: 10, PerClass: 100, Seed: 5})
+	pop := d.LabelDistribution()
+	meanEMD := func(alpha float64) float64 {
+		parts := PartitionDirichlet(d, 10, alpha, tensor.NewRNG(6))
+		s, n := 0.0, 0
+		for _, p := range parts {
+			if p.Len() == 0 {
+				continue
+			}
+			s += stats.EMD(p.LabelDistribution(), pop)
+			n++
+		}
+		return s / float64(n)
+	}
+	skewed := meanEMD(0.1)
+	mild := meanEMD(100)
+	if !(skewed > mild+0.2) {
+		t.Fatalf("α=0.1 EMD %v should far exceed α=100 EMD %v", skewed, mild)
+	}
+}
+
+func TestPartitionDirichletPanics(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 2, PerClass: 2, Seed: 7})
+	for name, fn := range map[string]func(){
+		"k=0":     func() { PartitionDirichlet(d, 0, 1, tensor.NewRNG(1)) },
+		"alpha=0": func() { PartitionDirichlet(d, 2, 0, tensor.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

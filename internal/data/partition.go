@@ -1,0 +1,168 @@
+package data
+
+import (
+	"fmt"
+
+	"fedmigr/internal/tensor"
+)
+
+// PartitionIID splits d evenly and randomly across k clients — the paper's
+// IID setting (Sec. IV-C: "each client is evenly and randomly allocated
+// with the same amount of images").
+func PartitionIID(d *Dataset, k int, g *tensor.RNG) []*Dataset {
+	if k <= 0 {
+		panic("data: PartitionIID needs k > 0")
+	}
+	perm := g.Perm(d.Len())
+	parts := make([]*Dataset, k)
+	per := d.Len() / k
+	for i := 0; i < k; i++ {
+		lo := i * per
+		hi := lo + per
+		if i == k-1 {
+			hi = d.Len()
+		}
+		parts[i] = d.Subset(perm[lo:hi])
+	}
+	return parts
+}
+
+// PartitionShards groups samples by label, splits them into k*shardsPer
+// contiguous label shards, and deals shardsPer shards to each client — the
+// paper's non-IID setting. With classes == k and shardsPer == 1 each client
+// holds exactly one class (the C10 non-IID setting); with shardsPer == 5 a
+// client holds 5 distinct classes (the C100 / ImageNet-100 setting).
+func PartitionShards(d *Dataset, k, shardsPer int, g *tensor.RNG) []*Dataset {
+	if k <= 0 || shardsPer <= 0 {
+		panic("data: PartitionShards needs k > 0 and shardsPer > 0")
+	}
+	// Sort indices by label (stable order within a class is irrelevant).
+	byLabel := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byLabel[y] = append(byLabel[y], i)
+	}
+	var sorted []int
+	for _, idx := range byLabel {
+		sorted = append(sorted, idx...)
+	}
+	nShards := k * shardsPer
+	if nShards > len(sorted) {
+		panic(fmt.Sprintf("data: %d shards for %d samples", nShards, len(sorted)))
+	}
+	shardSize := len(sorted) / nShards
+	order := g.Perm(nShards)
+	parts := make([]*Dataset, k)
+	for c := 0; c < k; c++ {
+		var idx []int
+		for s := 0; s < shardsPer; s++ {
+			sh := order[c*shardsPer+s]
+			lo := sh * shardSize
+			hi := lo + shardSize
+			if sh == nShards-1 {
+				hi = len(sorted)
+			}
+			idx = append(idx, sorted[lo:hi]...)
+		}
+		parts[c] = d.Subset(idx)
+	}
+	return parts
+}
+
+// PartitionDominance implements the test-bed non-IID levels of Sec. IV-D:
+// each client holds p (0 < p ≤ 1) of one "dominant" class (client i
+// dominates class i mod Classes) and the remaining samples of every class
+// are spread uniformly over the other clients. p == 1/k reduces to IID in
+// expectation. Level 0.1 with 10 clients and 10 classes is the paper's IID
+// special case.
+func PartitionDominance(d *Dataset, k int, p float64, g *tensor.RNG) []*Dataset {
+	if k <= 0 || p <= 0 || p > 1 {
+		panic(fmt.Sprintf("data: PartitionDominance needs k > 0 and p in (0,1], got k=%d p=%v", k, p))
+	}
+	byLabel := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byLabel[y] = append(byLabel[y], i)
+	}
+	assign := make([][]int, k)
+	for l, idx := range byLabel {
+		// Shuffle within the class so dominant/residual splits are random.
+		g.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		dom := l % k
+		nDom := int(p * float64(len(idx)))
+		assign[dom] = append(assign[dom], idx[:nDom]...)
+		rest := idx[nDom:]
+		// Spread the residue uniformly over the other k-1 clients.
+		if k == 1 {
+			assign[0] = append(assign[0], rest...)
+			continue
+		}
+		for i, sample := range rest {
+			c := i % (k - 1)
+			if c >= dom {
+				c++
+			}
+			assign[c] = append(assign[c], sample)
+		}
+	}
+	parts := make([]*Dataset, k)
+	for c := range parts {
+		parts[c] = d.Subset(assign[c])
+	}
+	return parts
+}
+
+// PartitionLANCorrelated partitions non-IID data so that clients within
+// the same LAN share a label distribution while different LANs differ —
+// the scenario motivating Fig. 3 ("data collected by the clients within a
+// LAN often have similar features and labels"). lanOf maps client → LAN id.
+func PartitionLANCorrelated(d *Dataset, lanOf []int, g *tensor.RNG) []*Dataset {
+	k := len(lanOf)
+	if k == 0 {
+		panic("data: PartitionLANCorrelated needs at least one client")
+	}
+	nLANs := 0
+	for _, l := range lanOf {
+		if l+1 > nLANs {
+			nLANs = l + 1
+		}
+	}
+	// Assign each class to a LAN round-robin; then split each LAN's pool
+	// evenly among its clients.
+	byLabel := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byLabel[y] = append(byLabel[y], i)
+	}
+	lanPool := make([][]int, nLANs)
+	for l, idx := range byLabel {
+		lan := l % nLANs
+		lanPool[lan] = append(lanPool[lan], idx...)
+	}
+	members := make([][]int, nLANs)
+	for c, lan := range lanOf {
+		members[lan] = append(members[lan], c)
+	}
+	parts := make([]*Dataset, k)
+	for lan, pool := range lanPool {
+		ms := members[lan]
+		if len(ms) == 0 {
+			continue
+		}
+		g.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		per := len(pool) / len(ms)
+		for i, c := range ms {
+			lo := i * per
+			hi := lo + per
+			if i == len(ms)-1 {
+				hi = len(pool)
+			}
+			parts[c] = d.Subset(pool[lo:hi])
+		}
+	}
+	// Clients in LANs that received no classes (more LANs than classes) get
+	// empty datasets rather than nils.
+	for c := range parts {
+		if parts[c] == nil {
+			parts[c] = d.Subset(nil)
+		}
+	}
+	return parts
+}

@@ -1,0 +1,277 @@
+package drl
+
+import (
+	"fmt"
+	"math"
+
+	"fedmigr/internal/nn"
+	"fedmigr/internal/tensor"
+)
+
+// DDPGConfig parameterizes the agent.
+type DDPGConfig struct {
+	// StateDim and ActionDim fix the network geometry. ActionDim equals
+	// the number of clients K (a distribution over destinations).
+	StateDim  int
+	ActionDim int
+	// Hidden is the MLP hidden width (default 64).
+	Hidden int
+	// Gamma is the discount factor γ (default 0.9).
+	Gamma float64
+	// TauSoft is the target-network soft-update rate (default 0.01).
+	TauSoft float64
+	// ActorLR and CriticLR are Adam learning rates (defaults 1e-3, 2e-3).
+	ActorLR  float64
+	CriticLR float64
+	// BatchSize is the replay minibatch (default 16).
+	BatchSize int
+	// BufferCap bounds the replay buffer (default 2048).
+	BufferCap int
+	// EpsilonPER and XiPER are the ε and ξ of Eqs. (25)–(26)
+	// (defaults 0.6, 0.6).
+	EpsilonPER float64
+	XiPER      float64
+	Seed       int64
+}
+
+func (c DDPGConfig) withDefaults() DDPGConfig {
+	if c.Hidden <= 0 {
+		c.Hidden = 64
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.9
+	}
+	if c.TauSoft <= 0 {
+		c.TauSoft = 0.01
+	}
+	if c.ActorLR <= 0 {
+		c.ActorLR = 1e-3
+	}
+	if c.CriticLR <= 0 {
+		c.CriticLR = 2e-3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 2048
+	}
+	// 0 selects the default; a negative value explicitly disables the
+	// feature (ε→0 ignores TD error, ξ→0 yields uniform replay).
+	switch {
+	case c.EpsilonPER == 0:
+		c.EpsilonPER = 0.6
+	case c.EpsilonPER < 0:
+		c.EpsilonPER = 0
+	}
+	switch {
+	case c.XiPER == 0:
+		c.XiPER = 0.6
+	case c.XiPER < 0:
+		c.XiPER = 0
+	}
+	return c
+}
+
+// DDPG is the deep deterministic policy gradient agent of Alg. 1: actor
+// π(s|θ) mapping a state to a destination distribution, critic Q(s,a|ψ),
+// and slowly-updated target clones of both.
+type DDPG struct {
+	cfg DDPGConfig
+
+	actor, actorTarget   *nn.Sequential
+	critic, criticTarget *nn.Sequential
+	actorOpt, criticOpt  *nn.Adam
+	Buffer               *PERBuffer
+	rng                  *tensor.RNG
+
+	steps int
+}
+
+// NewDDPG builds an agent for the given dimensions.
+func NewDDPG(cfg DDPGConfig) *DDPG {
+	cfg = cfg.withDefaults()
+	if cfg.StateDim <= 0 || cfg.ActionDim <= 0 {
+		panic(fmt.Sprintf("drl: invalid dims state=%d action=%d", cfg.StateDim, cfg.ActionDim))
+	}
+	g := tensor.NewRNG(cfg.Seed)
+	mkActor := func(r *tensor.RNG) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewDense(r, cfg.StateDim, cfg.Hidden), nn.NewReLU(),
+			nn.NewDense(r, cfg.Hidden, cfg.Hidden), nn.NewReLU(),
+			nn.NewDense(r, cfg.Hidden, cfg.ActionDim),
+			nn.NewSoftmaxLayer(),
+		)
+	}
+	mkCritic := func(r *tensor.RNG) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewDense(r, cfg.StateDim+cfg.ActionDim, cfg.Hidden), nn.NewReLU(),
+			nn.NewDense(r, cfg.Hidden, cfg.Hidden), nn.NewReLU(),
+			nn.NewDense(r, cfg.Hidden, 1),
+		)
+	}
+	a := mkActor(g.Fork())
+	c := mkCritic(g.Fork())
+	at := mkActor(g.Fork())
+	ct := mkCritic(g.Fork())
+	at.CopyParamsFrom(a)
+	ct.CopyParamsFrom(c)
+	return &DDPG{
+		cfg:          cfg,
+		actor:        a,
+		actorTarget:  at,
+		critic:       c,
+		criticTarget: ct,
+		actorOpt:     nn.NewAdam(cfg.ActorLR),
+		criticOpt:    nn.NewAdam(cfg.CriticLR),
+		Buffer:       NewPERBuffer(cfg.BufferCap, cfg.EpsilonPER, cfg.XiPER, cfg.Seed+1),
+		rng:          g.Fork(),
+	}
+}
+
+// Steps returns the number of completed training steps.
+func (d *DDPG) Steps() int { return d.steps }
+
+// Act returns the actor's deterministic action π(s): a probability
+// distribution over the ActionDim destinations.
+func (d *DDPG) Act(state []float64) []float64 {
+	x := tensor.FromSlice(append([]float64(nil), state...), 1, d.cfg.StateDim)
+	out := d.actor.Forward(x, false)
+	return append([]float64(nil), out.Data()...)
+}
+
+// Q evaluates the critic for a state-action pair.
+func (d *DDPG) Q(state, action []float64) float64 {
+	x := d.concat(state, action)
+	return d.critic.Forward(x, false).Data()[0]
+}
+
+func (d *DDPG) concat(state, action []float64) *tensor.Tensor {
+	if len(state) != d.cfg.StateDim || len(action) != d.cfg.ActionDim {
+		panic(fmt.Sprintf("drl: dims state=%d action=%d, want %d/%d",
+			len(state), len(action), d.cfg.StateDim, d.cfg.ActionDim))
+	}
+	v := make([]float64, d.cfg.StateDim+d.cfg.ActionDim)
+	copy(v, state)
+	copy(v[d.cfg.StateDim:], action)
+	return tensor.FromSlice(v, 1, len(v))
+}
+
+// Observe stores a transition in the replay buffer.
+func (d *DDPG) Observe(t Transition) {
+	if len(t.State) != d.cfg.StateDim || len(t.Action) != d.cfg.ActionDim {
+		panic("drl: Observe dimension mismatch")
+	}
+	d.Buffer.Add(t)
+}
+
+// TrainStep performs one Actor-Critic learning pass of Alg. 1 (lines
+// 10–20): sample prioritized transitions, regress the critic toward the
+// target value h (Eq. 21), ascend the actor along ∇aQ·∇θπ (Eq. 20), update
+// priorities (Eq. 25) and soft-update the targets. It returns the mean
+// absolute TD error of the batch (0 when the buffer is still empty).
+func (d *DDPG) TrainStep() float64 {
+	if d.Buffer.Len() == 0 {
+		return 0
+	}
+	idx, batch, isw := d.Buffer.Sample(d.cfg.BatchSize)
+	tdSum := 0.0
+
+	for s, z := range batch {
+		w := isw[s]
+		// Target value h_t = r + γ·Q'(s', π'(s')) — Eq. (21).
+		h := z.Reward
+		if !z.Done {
+			nx := tensor.FromSlice(append([]float64(nil), z.NextState...), 1, d.cfg.StateDim)
+			na := d.actorTarget.Forward(nx, false)
+			q2 := d.criticTarget.Forward(d.concat(z.NextState, na.Data()), false).Data()[0]
+			h += d.cfg.Gamma * q2
+		}
+		// Critic pass: TD error φ_z = h − Q(s,a) — Eq. (23).
+		in := d.concat(z.State, z.Action)
+		d.critic.ZeroGrad()
+		q := d.critic.Forward(in, true).Data()[0]
+		td := h - q
+		tdSum += math.Abs(td)
+		// d/dQ of ½(Q−h)² is (Q−h); scale by the IS weight μ_z (Eq. 27).
+		gout := tensor.FromSlice([]float64{w * (q - h)}, 1, 1)
+		d.critic.Backward(gout)
+		d.criticOpt.Step(d.critic)
+
+		// ∇aQ at a = π(s) through the *updated* critic — Eq. (24).
+		sx := tensor.FromSlice(append([]float64(nil), z.State...), 1, d.cfg.StateDim)
+		a := d.actor.Forward(sx, true)
+		d.critic.ZeroGrad()
+		d.critic.Forward(d.concat(z.State, a.Data()), true)
+		dIn := d.critic.Backward(tensor.FromSlice([]float64{1}, 1, 1))
+		d.critic.ZeroGrad() // discard critic grads from the probe pass
+		gradA := dIn.Data()[d.cfg.StateDim:]
+		gradNorm := 0.0
+		for _, g := range gradA {
+			gradNorm += g * g
+		}
+		gradNorm = math.Sqrt(gradNorm)
+		// Ascend: actor loss = −Q, so backprop −w·∇aQ into the actor (Eq. 28).
+		ga := tensor.New(1, d.cfg.ActionDim)
+		for j, g := range gradA {
+			ga.Data()[j] = -w * g
+		}
+		d.actor.ZeroGrad()
+		// Re-run forward to refresh caches (critic probe reused them safely,
+		// but keep the pairing explicit).
+		d.actor.Forward(sx, true)
+		d.actor.Backward(ga)
+		d.actorOpt.Step(d.actor)
+
+		// Priority update — Eq. (25).
+		d.Buffer.UpdatePriority(idx[s], d.Buffer.Priority(td, gradNorm))
+	}
+
+	d.softUpdate(d.actorTarget, d.actor)
+	d.softUpdate(d.criticTarget, d.critic)
+	d.steps++
+	return tdSum / float64(len(batch))
+}
+
+// softUpdate moves target parameters toward the online network:
+// θ' ← τ·θ + (1−τ)·θ'.
+func (d *DDPG) softUpdate(target, online *nn.Sequential) {
+	tp, _ := target.Params()
+	op, _ := online.Params()
+	tau := d.cfg.TauSoft
+	for i, t := range tp {
+		td, od := t.Data(), op[i].Data()
+		for j := range td {
+			td[j] = tau*od[j] + (1-tau)*td[j]
+		}
+	}
+}
+
+// ImitateActor performs one supervised (behavioral-cloning) step pushing
+// the actor's distribution toward the demonstrated action — used during
+// offline pre-training when ρ-greedy exploration executes an FLMM-derived
+// action (Sec. III-D1). The demonstration becomes a cross-entropy target.
+func (d *DDPG) ImitateActor(state []float64, action int) {
+	if action < 0 || action >= d.cfg.ActionDim {
+		panic(fmt.Sprintf("drl: imitation action %d out of range", action))
+	}
+	sx := tensor.FromSlice(append([]float64(nil), state...), 1, d.cfg.StateDim)
+	d.actor.ZeroGrad()
+	probs := d.actor.Forward(sx, true)
+	// d(CE)/d(probs) for a softmax output consumed directly: −1/p at the
+	// demonstrated class. Backprop through the actor's own softmax layer.
+	grad := tensor.New(1, d.cfg.ActionDim)
+	pa := probs.Data()[action]
+	if pa < 1e-9 {
+		pa = 1e-9
+	}
+	grad.Data()[action] = -1 / pa
+	d.actor.Backward(grad)
+	d.actorOpt.Step(d.actor)
+}
+
+// TargetDistance returns the L2 distance between online and target actor
+// parameters (diagnostics; shrinks as training stabilizes).
+func (d *DDPG) TargetDistance() float64 {
+	return d.actor.ParamVector().Sub(d.actorTarget.ParamVector()).Norm2()
+}

@@ -1,0 +1,414 @@
+package drl
+
+import (
+	"math"
+
+	"fedmigr/internal/core"
+	"fedmigr/internal/qp"
+	"fedmigr/internal/tensor"
+)
+
+// MigratorConfig parameterizes the EMPG policy wrapper around DDPG.
+type MigratorConfig struct {
+	// K is the (fixed) number of clients.
+	K int
+	// Upsilon is Υ in the reward of Eq. (17); must exceed 1 so the reward
+	// decays exponentially with the loss ratio (default 8).
+	Upsilon float64
+	// TerminalC is C in Eq. (18), added on success and subtracted on
+	// failure (default 1).
+	TerminalC float64
+	// WeightCompute and WeightBytes scale the resource terms of Eq. (17)
+	// (defaults 1, 1). Raise WeightBytes when communication dominates.
+	WeightCompute float64
+	WeightBytes   float64
+	// Rho0 is the initial ρ-greedy exploration probability (default 0.5);
+	// RhoDecay multiplies it after every Feedback (default 0.995);
+	// RhoMin floors it (default 0.02).
+	Rho0     float64
+	RhoDecay float64
+	RhoMin   float64
+	// QPCostWeight is the cost pressure handed to the FLMM relaxation
+	// during exploration (default 0.3).
+	QPCostWeight float64
+	// TrainPerFeedback is how many DDPG training steps run per observed
+	// transition (default 1; 0 disables learning — a frozen policy).
+	TrainPerFeedback int
+	// MoversPerEvent is how many models the policy relocates per migration
+	// event. The paper's reduced action space (Sec. III-C) plans one model
+	// per event and relies on many events per round (M = 49); with shorter
+	// rounds set a higher count, or -1 to plan every model each event (the
+	// shared actor is evaluated once per model).
+	MoversPerEvent int
+	// DDPG overrides the inner agent configuration (StateDim/ActionDim are
+	// always derived from K).
+	DDPG DDPGConfig
+	Seed int64
+}
+
+func (c MigratorConfig) withDefaults() MigratorConfig {
+	if c.Upsilon <= 1 {
+		c.Upsilon = 8
+	}
+	if c.TerminalC == 0 {
+		c.TerminalC = 1
+	}
+	if c.WeightCompute == 0 {
+		c.WeightCompute = 1
+	}
+	if c.WeightBytes == 0 {
+		c.WeightBytes = 1
+	}
+	if c.Rho0 == 0 {
+		c.Rho0 = 0.5
+	}
+	if c.RhoDecay == 0 {
+		c.RhoDecay = 0.995
+	}
+	if c.RhoMin == 0 {
+		c.RhoMin = 0.02
+	}
+	if c.QPCostWeight == 0 {
+		c.QPCostWeight = 0.3
+	}
+	if c.TrainPerFeedback == 0 {
+		c.TrainPerFeedback = 1
+	}
+	if c.MoversPerEvent == 0 {
+		c.MoversPerEvent = 1
+	}
+	return c
+}
+
+// StateDim returns the feature-vector length for K clients.
+func StateDim(k int) int { return 7 + 4*k }
+
+// Migrator is the paper's DRL-driven migration policy: it implements
+// core.Migrator, planning one model's migration per event (the reduced
+// action space of Sec. III-C) and learning online from the trainer's
+// feedback. It can be pre-trained offline (Pretrain in this package) and
+// then deployed frozen.
+type Migrator struct {
+	cfg   MigratorConfig
+	Agent *DDPG
+	rng   *tensor.RNG
+
+	rho         float64
+	mover       int // round-robin designated mover
+	lastMover   int
+	lastExplore bool
+	// ewma trackers normalize resource terms when budgets are unlimited.
+	ewmaCompute float64
+	ewmaBytes   float64
+
+	// Frozen disables both exploration and learning (deployment mode).
+	Frozen bool
+
+	// episodeRewards accumulates the rewards seen (diagnostics).
+	rewardSum float64
+	rewardN   int
+}
+
+var _ core.Migrator = (*Migrator)(nil)
+
+// NewMigrator builds the EMPG policy for k clients.
+func NewMigrator(cfg MigratorConfig) *Migrator {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		panic("drl: MigratorConfig.K must be positive")
+	}
+	d := cfg.DDPG
+	d.StateDim = StateDim(cfg.K)
+	d.ActionDim = cfg.K
+	if d.Seed == 0 {
+		d.Seed = cfg.Seed + 100
+	}
+	return &Migrator{
+		cfg:   cfg,
+		Agent: NewDDPG(d),
+		rng:   tensor.NewRNG(cfg.Seed),
+		rho:   cfg.Rho0,
+	}
+}
+
+// Rho returns the current exploration probability.
+func (m *Migrator) Rho() float64 { return m.rho }
+
+// MeanReward returns the running mean reward observed (0 before feedback).
+func (m *Migrator) MeanReward() float64 {
+	if m.rewardN == 0 {
+		return 0
+	}
+	return m.rewardSum / float64(m.rewardN)
+}
+
+// Features encodes the paper's state s_t = (t, w_t, F_t, D_t, R_t, G_t)
+// for the designated mover into a fixed-size vector: scalar training/
+// resource signals, the mover one-hot, the mover's EMD row of D_t, its
+// transfer-cost row, and the active mask.
+func (m *Migrator) Features(s *core.State, mover int) []float64 {
+	k := m.cfg.K
+	f := make([]float64, StateDim(k))
+	f[0] = float64(s.Epoch) / 1000.0
+	loss := s.Loss
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		loss = 0
+	}
+	f[1] = loss / (1 + loss)
+	f[2] = clamp(relDelta(s.Loss, s.PrevLoss), -1, 1)
+	f[3] = s.RemainingComputeFrac()
+	f[4] = s.RemainingBytesFrac()
+	f[5] = s.EpochComputeSeconds / (1 + s.EpochComputeSeconds)
+	eb := float64(s.EpochBytes)
+	f[6] = eb / (1e6 + eb)
+	off := 7
+	f[off+mover] = 1
+	off += k
+	maxCost := 1e-12
+	src := s.Locations[mover]
+	for j := 0; j < k; j++ {
+		if s.CostSeconds[src][j] > maxCost {
+			maxCost = s.CostSeconds[src][j]
+		}
+	}
+	for j := 0; j < k; j++ {
+		f[off+j] = s.D[mover][j] / 2 // EMD ∈ [0,2]
+	}
+	off += k
+	for j := 0; j < k; j++ {
+		f[off+j] = s.CostSeconds[src][j] / maxCost
+	}
+	off += k
+	for j := 0; j < k; j++ {
+		if s.Active[j] {
+			f[off+j] = 1
+		}
+	}
+	return f
+}
+
+func relDelta(cur, prev float64) float64 {
+	if math.IsInf(prev, 0) || math.IsNaN(prev) || prev == 0 {
+		return 0
+	}
+	if math.IsInf(cur, 0) || math.IsNaN(cur) {
+		return 0
+	}
+	return (cur - prev) / math.Abs(prev)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Plan implements core.Migrator. It selects the event's movers (one by
+// default — the paper's reduced action space — or several/all via
+// MoversPerEvent), then picks each mover's destination by ρ-greedy: with
+// probability ρ from the relaxed FLMM solution (Sec. III-D1), otherwise
+// from the actor.
+func (m *Migrator) Plan(s *core.State) []int {
+	k := m.cfg.K
+	dest := append([]int(nil), s.Locations...)
+	n := m.cfg.MoversPerEvent
+	if n < 0 || n > k {
+		n = k
+	}
+	// ρ-greedy is drawn once per event: either the whole event is an
+	// exploration step through the FLMM relaxation, or the actor plans it.
+	explore := !m.Frozen && m.rng.Float64() < m.rho
+	m.lastExplore = explore
+	var qpPlan []int
+	if explore {
+		qpPlan = m.exploreQPAll(s)
+	}
+	first := -1
+	for i := 0; i < n; i++ {
+		mover := m.pickMover(s)
+		if mover < 0 {
+			break
+		}
+		if first < 0 {
+			first = mover
+		}
+		var choice int
+		if explore {
+			choice = qpPlan[mover]
+		} else {
+			feat := m.Features(s, mover)
+			probs := m.Agent.Act(feat)
+			m.maskInactive(probs, s)
+			// The actor's softmax *is* the policy: sampling it keeps the
+			// planned destinations diverse (argmax would send every mover
+			// to the same client while the policy is still soft).
+			choice = sample(probs, m.rng)
+		}
+		if choice >= 0 && choice < k && s.Active[choice] {
+			dest[mover] = choice
+		}
+	}
+	if first >= 0 {
+		m.lastMover = first
+	}
+	return dest
+}
+
+// pickMover returns the next model (round-robin) hosted by an active
+// client, or -1 when none is movable.
+func (m *Migrator) pickMover(s *core.State) int {
+	k := m.cfg.K
+	for trials := 0; trials < k; trials++ {
+		cand := m.mover
+		m.mover = (m.mover + 1) % k
+		if s.Active[s.Locations[cand]] {
+			return cand
+		}
+	}
+	return -1
+}
+
+// exploreQPAll derives an exploratory full plan by solving the relaxed
+// FLMM problem of Eq. (16) and sampling each row.
+func (m *Migrator) exploreQPAll(s *core.State) []int {
+	util := qp.BuildUtility(s.D, s.CostSeconds, m.cfg.QPCostWeight,
+		math.Min(s.RemainingComputeFrac(), s.RemainingBytesFrac()))
+	// Inactive destinations get a prohibitive utility.
+	for i := range util {
+		for j := range util[i] {
+			if !s.Active[j] {
+				util[i][j] = -1e9
+			}
+		}
+	}
+	prob := &qp.Problem{Utility: util, Iters: 30}
+	sol := prob.Solve()
+	return qp.RoundSample(sol, m.rng)
+}
+
+func (m *Migrator) maskInactive(probs []float64, s *core.State) {
+	sum := 0.0
+	for j := range probs {
+		if !s.Active[j] {
+			probs[j] = 0
+		}
+		sum += probs[j]
+	}
+	if sum <= 0 {
+		for j := range probs {
+			if s.Active[j] {
+				probs[j] = 1
+			}
+		}
+	}
+}
+
+func argmax(xs []float64) int {
+	bi := 0
+	for i, v := range xs {
+		if v > xs[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+func sample(xs []float64, g *tensor.RNG) int {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum <= 0 {
+		return g.Intn(len(xs))
+	}
+	r := g.Float64() * sum
+	acc := 0.0
+	for i, v := range xs {
+		acc += v
+		if r < acc {
+			return i
+		}
+	}
+	return len(xs) - 1
+}
+
+// Reward computes Eq. (17) for the transition into `next`, and Eq. (18)'s
+// terminal adjustment when done.
+func (m *Migrator) Reward(next *core.State, done, success bool) float64 {
+	// −Υ^(ΔF_t / F_{t−1}): improvement (ΔF<0) → exponent < 0 → small
+	// penalty; regression → large penalty.
+	ratio := clamp(relDelta(next.Loss, next.PrevLoss), -1, 1)
+	r := -math.Pow(m.cfg.Upsilon, ratio)
+
+	// Resource terms c^t/B_c and b^t/B_b. With unlimited budgets the
+	// denominators fall back to running averages so the terms stay O(1).
+	c := next.EpochComputeSeconds
+	if next.ComputeBudget > 0 {
+		r -= m.cfg.WeightCompute * c / next.ComputeBudget
+	} else {
+		m.ewmaCompute = 0.9*m.ewmaCompute + 0.1*c
+		if m.ewmaCompute > 0 {
+			r -= m.cfg.WeightCompute * c / (10 * m.ewmaCompute)
+		}
+	}
+	b := float64(next.EpochBytes)
+	if next.BytesBudget > 0 {
+		r -= m.cfg.WeightBytes * b / float64(next.BytesBudget)
+	} else {
+		m.ewmaBytes = 0.9*m.ewmaBytes + 0.1*b
+		if m.ewmaBytes > 0 {
+			r -= m.cfg.WeightBytes * b / (10 * m.ewmaBytes)
+		}
+	}
+	if done {
+		if success {
+			r += m.cfg.TerminalC
+		} else {
+			r -= m.cfg.TerminalC
+		}
+	}
+	return r
+}
+
+// Feedback implements core.Migrator: it converts the trainer's transition
+// into a replay experience (the executed action as a one-hot destination
+// vector) and runs the configured number of DDPG training steps.
+func (m *Migrator) Feedback(prev *core.State, action []int, next *core.State, done, success bool) {
+	mover := m.lastMover
+	if mover < 0 || mover >= m.cfg.K {
+		return
+	}
+	r := m.Reward(next, done, success)
+	m.rewardSum += r
+	m.rewardN++
+	if m.Frozen {
+		return
+	}
+	a := make([]float64, m.cfg.K)
+	a[action[mover]] = 1
+	m.Agent.Observe(Transition{
+		State:     m.Features(prev, mover),
+		Action:    a,
+		Reward:    r,
+		NextState: m.Features(next, mover),
+		Done:      done,
+	})
+	// FLMM-derived demonstrations double as behavioral-cloning targets for
+	// every model the exploratory plan moved, which gives the actor a
+	// useful prior long before the critic's value estimates mature.
+	if m.lastExplore {
+		for mm, dst := range action {
+			if dst != prev.Locations[mm] {
+				m.Agent.ImitateActor(m.Features(prev, mm), dst)
+			}
+		}
+	}
+	for i := 0; i < m.cfg.TrainPerFeedback; i++ {
+		m.Agent.TrainStep()
+	}
+	m.rho = math.Max(m.cfg.RhoMin, m.rho*m.cfg.RhoDecay)
+}

@@ -1,0 +1,81 @@
+package drl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// The agent checkpoint format is a small header followed by the actor's
+// and critic's parameter payloads (each in nn's codec). Target networks
+// are not stored: on load they are reset to the online networks, which is
+// the correct state for a freshly deployed (or resumed) agent.
+
+// MarshalBinary serializes the agent's learned parameters (actor +
+// critic). Replay contents and optimizer moments are not persisted — a
+// reloaded agent is ready for frozen deployment or continued training from
+// an empty buffer.
+func (d *DDPG) MarshalBinary() ([]byte, error) {
+	actor, err := d.actor.MarshalParams()
+	if err != nil {
+		return nil, fmt.Errorf("drl: marshal actor: %w", err)
+	}
+	critic, err := d.critic.MarshalParams()
+	if err != nil {
+		return nil, fmt.Errorf("drl: marshal critic: %w", err)
+	}
+	var buf bytes.Buffer
+	hdr := []uint32{
+		uint32(0xFEDD2210),
+		uint32(d.cfg.StateDim), uint32(d.cfg.ActionDim),
+		uint32(len(actor)), uint32(len(critic)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	buf.Write(actor)
+	buf.Write(critic)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary loads parameters saved by MarshalBinary into an agent
+// with identical dimensions, resetting the target networks to the loaded
+// online networks.
+func (d *DDPG) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic, stateDim, actionDim, actorLen, criticLen uint32
+	for _, p := range []*uint32{&magic, &stateDim, &actionDim, &actorLen, &criticLen} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("drl: reading agent header: %w", err)
+		}
+	}
+	if magic != 0xFEDD2210 {
+		return fmt.Errorf("drl: bad agent magic %#x", magic)
+	}
+	if int(stateDim) != d.cfg.StateDim || int(actionDim) != d.cfg.ActionDim {
+		return fmt.Errorf("drl: agent dims %d/%d do not match checkpoint %d/%d",
+			d.cfg.StateDim, d.cfg.ActionDim, stateDim, actionDim)
+	}
+	if int64(actorLen)+int64(criticLen) != int64(r.Len()) {
+		return fmt.Errorf("drl: agent payload size mismatch")
+	}
+	actor := make([]byte, actorLen)
+	if _, err := r.Read(actor); err != nil {
+		return fmt.Errorf("drl: reading actor payload: %w", err)
+	}
+	critic := make([]byte, criticLen)
+	if _, err := r.Read(critic); err != nil {
+		return fmt.Errorf("drl: reading critic payload: %w", err)
+	}
+	if err := d.actor.UnmarshalParams(actor); err != nil {
+		return fmt.Errorf("drl: actor: %w", err)
+	}
+	if err := d.critic.UnmarshalParams(critic); err != nil {
+		return fmt.Errorf("drl: critic: %w", err)
+	}
+	d.actorTarget.CopyParamsFrom(d.actor)
+	d.criticTarget.CopyParamsFrom(d.critic)
+	return nil
+}

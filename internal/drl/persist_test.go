@@ -1,0 +1,86 @@
+package drl
+
+import (
+	"testing"
+
+	"fedmigr/internal/tensor"
+)
+
+func trainedAgent(t *testing.T, seed int64) *DDPG {
+	t.Helper()
+	a := NewDDPG(DDPGConfig{StateDim: 4, ActionDim: 3, BatchSize: 4, Seed: seed})
+	g := tensor.NewRNG(seed + 1)
+	for i := 0; i < 24; i++ {
+		s := []float64{g.NormFloat64(), g.NormFloat64(), g.NormFloat64(), g.NormFloat64()}
+		act := []float64{0, 0, 0}
+		act[g.Intn(3)] = 1
+		a.Observe(Transition{State: s, Action: act, Reward: g.NormFloat64(), NextState: s})
+	}
+	for i := 0; i < 10; i++ {
+		a.TrainStep()
+	}
+	return a
+}
+
+func TestAgentPersistRoundTrip(t *testing.T) {
+	a := trainedAgent(t, 1)
+	b, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDDPG(DDPGConfig{StateDim: 4, ActionDim: 3, Seed: 99})
+	if err := fresh.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{0.5, -0.2, 1.0, 0.1}
+	want := a.Act(state)
+	got := fresh.Act(state)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("restored policy differs: %v vs %v", want, got)
+		}
+	}
+	// Critic restored too.
+	action := []float64{1, 0, 0}
+	if a.Q(state, action) != fresh.Q(state, action) {
+		t.Fatal("restored critic differs")
+	}
+	// Targets reset to online nets.
+	if fresh.TargetDistance() != 0 {
+		t.Fatal("targets must equal online nets after load")
+	}
+}
+
+func TestAgentPersistDimMismatch(t *testing.T) {
+	a := trainedAgent(t, 2)
+	b, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewDDPG(DDPGConfig{StateDim: 5, ActionDim: 3, Seed: 1})
+	if err := other.UnmarshalBinary(b); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+}
+
+func TestAgentPersistGarbage(t *testing.T) {
+	a := NewDDPG(DDPGConfig{StateDim: 2, ActionDim: 2, Seed: 1})
+	if err := a.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+	if err := a.UnmarshalBinary(make([]byte, 64)); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestAgentPersistTruncatedPayload(t *testing.T) {
+	a := trainedAgent(t, 3)
+	b, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDDPG(DDPGConfig{StateDim: 4, ActionDim: 3, Seed: 1})
+	if err := fresh.UnmarshalBinary(b[:len(b)-8]); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+}

@@ -1,0 +1,250 @@
+// Package edgenet simulates the heterogeneous edge-computing network the
+// paper deploys on: clients grouped into LANs, an edge server reached over
+// a WAN, client-to-client (C2C) links that are fast within a LAN and
+// slower across LANs, heterogeneous per-client compute rates, and
+// time-varying link jitter. It provides the traffic and wall-clock-time
+// accounting behind Tables I & III and Figs. 6–11.
+//
+// Substitution note (DESIGN.md §2): the paper's test-bed is 30 Jetson
+// devices and a 50 Mbps WAN; here every transfer is `bytes / bandwidth +
+// latency` and every local epoch is `samples / computeRate`, which is the
+// same cost model the paper's evaluation quantities are functions of.
+package edgenet
+
+import (
+	"fmt"
+	"sync"
+
+	"fedmigr/internal/tensor"
+)
+
+// LinkKind classifies a transfer path.
+type LinkKind int
+
+// Link kinds, ordered from cheapest to most expensive in the default
+// cost model.
+const (
+	// IntraLAN is a client-to-client link within one LAN.
+	IntraLAN LinkKind = iota
+	// CrossLAN is a client-to-client link between different LANs
+	// (global migration, relayed by gateways or the edge server).
+	CrossLAN
+	// C2S is a client-to-server WAN link (model distribution, global
+	// aggregation).
+	C2S
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case IntraLAN:
+		return "intra-LAN"
+	case CrossLAN:
+		return "cross-LAN"
+	case C2S:
+		return "C2S"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Topology describes which LAN each client belongs to.
+type Topology struct {
+	// LANOf maps client index → LAN id.
+	LANOf []int
+}
+
+// NewTopology builds a topology from a client→LAN assignment.
+func NewTopology(lanOf []int) *Topology {
+	return &Topology{LANOf: append([]int(nil), lanOf...)}
+}
+
+// GroupedTopology builds a topology from explicit LAN membership lists,
+// e.g. GroupedTopology([][]int{{0,1,2,3},{4,5,6},{7,8,9}}) reproduces the
+// paper's 10-client / 3-LAN simulation setup.
+func GroupedTopology(groups [][]int) *Topology {
+	n := 0
+	for _, g := range groups {
+		for _, c := range g {
+			if c+1 > n {
+				n = c + 1
+			}
+		}
+	}
+	lanOf := make([]int, n)
+	for i := range lanOf {
+		lanOf[i] = -1
+	}
+	for lan, g := range groups {
+		for _, c := range g {
+			if lanOf[c] != -1 {
+				panic(fmt.Sprintf("edgenet: client %d in two LANs", c))
+			}
+			lanOf[c] = lan
+		}
+	}
+	for c, l := range lanOf {
+		if l == -1 {
+			panic(fmt.Sprintf("edgenet: client %d not assigned to a LAN", c))
+		}
+	}
+	return NewTopology(lanOf)
+}
+
+// EvenTopology assigns k clients round-robin-contiguously to nLANs LANs.
+func EvenTopology(k, nLANs int) *Topology {
+	if nLANs <= 0 || k <= 0 {
+		panic("edgenet: EvenTopology needs k > 0 and nLANs > 0")
+	}
+	lanOf := make([]int, k)
+	per := (k + nLANs - 1) / nLANs
+	for i := range lanOf {
+		lanOf[i] = i / per
+	}
+	return NewTopology(lanOf)
+}
+
+// K returns the number of clients.
+func (t *Topology) K() int { return len(t.LANOf) }
+
+// NumLANs returns the number of distinct LANs.
+func (t *Topology) NumLANs() int {
+	n := 0
+	for _, l := range t.LANOf {
+		if l+1 > n {
+			n = l + 1
+		}
+	}
+	return n
+}
+
+// SameLAN reports whether clients i and j share a LAN.
+func (t *Topology) SameLAN(i, j int) bool { return t.LANOf[i] == t.LANOf[j] }
+
+// Kind returns the link kind for a transfer from client i to client j.
+func (t *Topology) Kind(i, j int) LinkKind {
+	if t.SameLAN(i, j) {
+		return IntraLAN
+	}
+	return CrossLAN
+}
+
+// CostModel turns transfers and local computation into seconds and bytes.
+// Bandwidths are bytes/second; latencies are seconds. The zero value is
+// unusable — use DefaultCostModel or fill every field.
+type CostModel struct {
+	IntraLANBandwidth float64
+	CrossLANBandwidth float64
+	C2SBandwidth      float64
+	IntraLANLatency   float64
+	CrossLANLatency   float64
+	C2SLatency        float64
+
+	// ComputeRate is samples/second for each client; heterogeneous rates
+	// model the TX2-vs-NX split of the test-bed. A nil slice means every
+	// client runs at DefaultComputeRate.
+	ComputeRate        []float64
+	DefaultComputeRate float64
+
+	// Jitter is the fractional uniform noise applied to each transfer's
+	// bandwidth, modelling time-varying wireless conditions. 0 disables.
+	Jitter float64
+
+	// C2COverride optionally pins the bandwidth of specific client pairs,
+	// keyed by PairKey(i, j) — used to create fast/moderate/slow C2C links
+	// for Fig. 8. Overrides win over the kind-based defaults.
+	C2COverride map[[2]int]float64
+
+	traces map[LinkKind]*BandwidthTrace
+
+	rng *tensor.RNG
+	mu  sync.Mutex
+}
+
+// DefaultCostModel mirrors the paper's setting qualitatively: intra-LAN
+// C2C ≫ cross-LAN C2C > C2S WAN (50 Mbps ≈ 6.25 MB/s).
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		IntraLANBandwidth:  100e6 / 8, // 100 Mbps LAN
+		CrossLANBandwidth:  25e6 / 8,  // 25 Mbps cross-LAN relay
+		C2SBandwidth:       50e6 / 8,  // 50 Mbps WAN, as in the test-bed
+		IntraLANLatency:    0.002,
+		CrossLANLatency:    0.020,
+		C2SLatency:         0.050,
+		DefaultComputeRate: 2000, // samples/second
+	}
+}
+
+// Seed installs a deterministic jitter source.
+func (c *CostModel) Seed(seed int64) { c.rng = tensor.NewRNG(seed) }
+
+// PairKey normalizes an unordered client pair for C2COverride.
+func PairKey(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// Bandwidth returns the effective bandwidth for a transfer between i and j
+// of the given kind (i and j are ignored for C2S from the server side:
+// pass the client index for both).
+func (c *CostModel) Bandwidth(i, j int, kind LinkKind) float64 {
+	if kind != C2S && c.C2COverride != nil {
+		if bw, ok := c.C2COverride[PairKey(i, j)]; ok {
+			return bw
+		}
+	}
+	switch kind {
+	case IntraLAN:
+		return c.IntraLANBandwidth
+	case CrossLAN:
+		return c.CrossLANBandwidth
+	case C2S:
+		return c.C2SBandwidth
+	default:
+		panic(fmt.Sprintf("edgenet: unknown link kind %v", kind))
+	}
+}
+
+// latency returns the base latency for a link kind.
+func (c *CostModel) latency(kind LinkKind) float64 {
+	switch kind {
+	case IntraLAN:
+		return c.IntraLANLatency
+	case CrossLAN:
+		return c.CrossLANLatency
+	default:
+		return c.C2SLatency
+	}
+}
+
+// TransferTime returns the seconds needed to move `bytes` between i and j
+// over the given kind, with jitter applied if configured.
+func (c *CostModel) TransferTime(i, j int, kind LinkKind, bytes int64) float64 {
+	bw := c.Bandwidth(i, j, kind)
+	if bw <= 0 {
+		panic(fmt.Sprintf("edgenet: non-positive bandwidth for %v link %d→%d", kind, i, j))
+	}
+	bw *= c.traceFactor(kind)
+	if c.Jitter > 0 && c.rng != nil {
+		c.mu.Lock()
+		f := 1 + c.Jitter*(2*c.rng.Float64()-1)
+		c.mu.Unlock()
+		bw *= f
+	}
+	return float64(bytes)/bw + c.latency(kind)
+}
+
+// ComputeTime returns the seconds client k needs to process `samples`
+// training samples once.
+func (c *CostModel) ComputeTime(k int, samples int) float64 {
+	rate := c.DefaultComputeRate
+	if c.ComputeRate != nil && k < len(c.ComputeRate) && c.ComputeRate[k] > 0 {
+		rate = c.ComputeRate[k]
+	}
+	if rate <= 0 {
+		panic(fmt.Sprintf("edgenet: non-positive compute rate for client %d", k))
+	}
+	return float64(samples) / rate
+}

@@ -1,0 +1,65 @@
+package edgenet
+
+import "fmt"
+
+// BandwidthTrace makes a link kind's bandwidth vary over simulated time —
+// the "time-varying wireless connections" of the paper's Sec. III-B that
+// motivate an experience-driven controller over static optimization. The
+// trace is a piecewise-constant multiplier applied on top of the kind's
+// base bandwidth; it advances one step per transfer on that kind and
+// cycles, so runs stay deterministic.
+type BandwidthTrace struct {
+	// Factors multiply the base bandwidth; all must be positive.
+	Factors []float64
+	step    int
+}
+
+// NewBandwidthTrace validates and returns a trace.
+func NewBandwidthTrace(factors []float64) (*BandwidthTrace, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("edgenet: empty bandwidth trace")
+	}
+	for i, f := range factors {
+		if f <= 0 {
+			return nil, fmt.Errorf("edgenet: trace factor %d is %v, must be positive", i, f)
+		}
+	}
+	return &BandwidthTrace{Factors: append([]float64(nil), factors...)}, nil
+}
+
+// next returns the current factor and advances the trace.
+func (t *BandwidthTrace) next() float64 {
+	f := t.Factors[t.step%len(t.Factors)]
+	t.step++
+	return f
+}
+
+// Step returns how many transfers the trace has priced.
+func (t *BandwidthTrace) Step() int { return t.step }
+
+// SetTrace installs a bandwidth trace for a link kind. A nil trace removes
+// it. Traces compose with Jitter (trace applies first).
+func (c *CostModel) SetTrace(kind LinkKind, t *BandwidthTrace) {
+	if c.traces == nil {
+		c.traces = make(map[LinkKind]*BandwidthTrace)
+	}
+	if t == nil {
+		delete(c.traces, kind)
+		return
+	}
+	c.traces[kind] = t
+}
+
+// traceFactor consumes one trace step for the kind (1 when untraced).
+func (c *CostModel) traceFactor(kind LinkKind) float64 {
+	if c.traces == nil {
+		return 1
+	}
+	t, ok := c.traces[kind]
+	if !ok {
+		return 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return t.next()
+}

@@ -1,0 +1,215 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. III-A motivation and Sec. IV) on the simulated
+// substrate. Each artifact is an Experiment producing a printable Report;
+// the registry maps the paper's artifact ids (fig3, tab1, …) to runnable
+// code. Absolute numbers differ from the paper (synthetic data, reduced
+// scale — see DESIGN.md §2); the *shape* of each result — orderings,
+// rough improvement factors, crossovers — is the reproduction target
+// recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	fedmigr "fedmigr"
+	"fedmigr/internal/edgenet"
+)
+
+// Params tunes every experiment's cost.
+type Params struct {
+	// Scale multiplies workload sizes; 1 is the laptop-scale default that
+	// finishes the full suite in minutes on one core. Raise it toward the
+	// paper's scale when you have the cycles.
+	Scale float64
+	// Seed makes the whole suite deterministic.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// scaleInt scales n by p.Scale with a floor of min.
+func (p Params) scaleInt(n, min int) int {
+	v := int(float64(n) * p.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Report is a printable experiment result.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the report as CSV (header row then data rows).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment interface {
+	// ID is the registry key (fig3, tab1, …).
+	ID() string
+	// Title describes the paper artifact.
+	Title() string
+	// Run executes the experiment.
+	Run(p Params) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID()] = e }
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered experiment in id order.
+func All() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// schemes is the evaluation order used throughout the paper's tables.
+var schemes = []fedmigr.Scheme{
+	fedmigr.SchemeFedAvg,
+	fedmigr.SchemeFedSwap,
+	fedmigr.SchemeRandMigr,
+	fedmigr.SchemeFedProx,
+	fedmigr.SchemeFedMigr,
+}
+
+// paperCost returns the communication-bound cost regime the paper
+// assumes ("the C2S communication is probably more time-consuming than a
+// single training iteration"): a slow WAN, a moderate cross-LAN relay,
+// fast LANs, and AI-chipset-class on-device compute.
+func paperCost(seed int64) *edgenet.CostModel {
+	cm := edgenet.DefaultCostModel()
+	cm.C2SBandwidth = 2e6 / 8        // 2 Mbps WAN
+	cm.CrossLANBandwidth = 10e6 / 8  // 10 Mbps cross-LAN
+	cm.IntraLANBandwidth = 100e6 / 8 // 100 Mbps LAN
+	cm.DefaultComputeRate = 20000    // samples/second
+	cm.Jitter = 0.1
+	cm.Seed(seed)
+	return cm
+}
+
+// baseOptions returns the standard 10-client / 3-LAN C10 workload of the
+// paper's simulation section, scaled by p, under the communication-bound
+// cost regime.
+func baseOptions(p Params, scheme fedmigr.Scheme) fedmigr.Options {
+	o := fedmigr.Options{
+		Scheme:   scheme,
+		Dataset:  fedmigr.DatasetC10,
+		Model:    fedmigr.ModelMLP,
+		Clients:  10,
+		LANs:     3,
+		PerClass: p.scaleInt(20, 8),
+		Noise:    3.0,
+		Epochs:   p.scaleInt(40, 10),
+		LR:       0.05,
+		Seed:     p.Seed,
+		Cost:     paperCost(p.Seed + 7),
+	}
+	o.Partition = fedmigr.PartitionShards
+	switch scheme {
+	case fedmigr.SchemeFedAvg:
+		o.AggEvery = 1
+	case fedmigr.SchemeFedProx:
+		o.AggEvery = 1
+		o.ProxMu = 0.05
+	default:
+		o.AggEvery = 5
+	}
+	return o
+}
+
+func pct(v float64) string   { return fmt.Sprintf("%.1f%%", 100*v) }
+func mb(bytes int64) string  { return fmt.Sprintf("%.2fMB", float64(bytes)/1e6) }
+func secs(s float64) string  { return fmt.Sprintf("%.1fs", s) }
+func epochsStr(e int) string { return fmt.Sprintf("%d", e) }
+func f3(v float64) string    { return fmt.Sprintf("%.3f", v) }

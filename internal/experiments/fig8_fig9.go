@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	fedmigr "fedmigr"
+	"fedmigr/internal/edgenet"
+)
+
+func init() {
+	register(fig8{})
+	register(fig9{})
+}
+
+// fig8 reproduces Fig. 8: C2C link selection frequency under heterogeneous
+// link speeds. Links are partitioned into fast/moderate/slow classes; a
+// cost-aware migration policy should use fast links most. Paper shape:
+// selection frequency ordered fast > moderate > slow.
+type fig8 struct{}
+
+func (fig8) ID() string    { return "fig8" }
+func (fig8) Title() string { return "Fig. 8 — C2C link selection frequency vs link speed" }
+
+func (fig8) Run(p Params) (*Report, error) {
+	p = p.withDefaults()
+	// Heterogeneous C2C bandwidths: class assigned by (i+j) mod 3.
+	cost := edgenet.DefaultCostModel()
+	cost.C2COverride = map[[2]int]float64{}
+	speedOf := func(i, j int) (float64, string) {
+		switch (i + j) % 3 {
+		case 0:
+			return 100e6 / 8, "fast"
+		case 1:
+			return 20e6 / 8, "moderate"
+		default:
+			return 2e6 / 8, "slow"
+		}
+	}
+	const k = 10
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			bw, _ := speedOf(i, j)
+			cost.C2COverride[edgenet.PairKey(i, j)] = bw
+		}
+	}
+	o := baseOptions(p, fedmigr.SchemeFedMigr)
+	o.Migrator = fedmigr.MigratorGreedyEMD
+	o.Cost = cost
+	o.Epochs = p.scaleInt(60, 30)
+	o.AggEvery = 10
+	sim, err := fedmigr.New(o)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	sim.Run()
+
+	counts := map[string]int{}
+	links := map[string]int{}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			_, class := speedOf(i, j)
+			links[class]++
+			counts[class] += sim.Trainer.Accountant().LinkUse(i, j)
+		}
+	}
+	rep := &Report{
+		ID: "fig8", Title: "Mean C2C transfers per link, by link-speed class",
+		Header: []string{"speed class", "links", "transfers", "per link"},
+		Notes:  []string{"paper shape: fast links are selected most, slow links least"},
+	}
+	for _, class := range []string{"fast", "moderate", "slow"} {
+		per := float64(counts[class]) / float64(links[class])
+		rep.Rows = append(rep.Rows, []string{
+			class, fmt.Sprintf("%d", links[class]),
+			fmt.Sprintf("%d", counts[class]), fmt.Sprintf("%.2f", per),
+		})
+	}
+	return rep, nil
+}
+
+// fig9 reproduces Fig. 9: accuracy of the five schemes under bandwidth
+// budgets (left plot) and completion-time budgets (right plot). Paper
+// shape: accuracy grows with budget; FedMigr leads at every budget.
+type fig9 struct{}
+
+func (fig9) ID() string    { return "fig9" }
+func (fig9) Title() string { return "Fig. 9 — accuracy vs bandwidth budget and vs time budget" }
+
+func (fig9) Run(p Params) (*Report, error) {
+	p = p.withDefaults()
+	rep := &Report{
+		ID: "fig9", Title: "Best accuracy under resource budgets",
+		Header: []string{"scheme", "bw 25%", "bw 50%", "bw 100%", "time 25%", "time 50%", "time 100%"},
+		Notes: []string{
+			"budgets are fractions of FedAvg's unconstrained consumption",
+			"paper shape: accuracy rises with budget; FedMigr leads at each point",
+		},
+	}
+	// Calibrate 100% budgets from an unconstrained FedAvg run.
+	cal := baseOptions(p, fedmigr.SchemeFedAvg)
+	calRes, err := fedmigr.Run(cal)
+	if err != nil {
+		return nil, fmt.Errorf("fig9 calibration: %w", err)
+	}
+	fullBytes := calRes.Snapshot.TotalBytes
+	fullTime := calRes.Snapshot.WallSeconds
+
+	for _, s := range schemes {
+		row := []string{s.String()}
+		for _, frac := range []float64{0.25, 0.5, 1.0} {
+			o := budgetOptions(p, s)
+			o.BandwidthBudget = int64(frac * float64(fullBytes))
+			res, err := fedmigr.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v bw=%v: %w", s, frac, err)
+			}
+			row = append(row, pct(res.BestAcc()))
+		}
+		for _, frac := range []float64{0.25, 0.5, 1.0} {
+			o := budgetOptions(p, s)
+			o.TimeBudget = frac * fullTime
+			res, err := fedmigr.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v time=%v: %w", s, frac, err)
+			}
+			row = append(row, pct(res.BestAcc()))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func budgetOptions(p Params, s fedmigr.Scheme) fedmigr.Options {
+	o := baseOptions(p, s)
+	o.EvalEvery = 1
+	o.Epochs = p.scaleInt(80, 24)
+	if s == fedmigr.SchemeFedMigr {
+		o.Migrator = fedmigr.MigratorGreedyEMD
+	}
+	return o
+}

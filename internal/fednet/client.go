@@ -1,0 +1,323 @@
+package fednet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fedmigr/internal/core"
+	"fedmigr/internal/data"
+	"fedmigr/internal/nn"
+)
+
+// ClientConfig parameterizes a client node.
+type ClientConfig struct {
+	// ServerAddr is the parameter server's address.
+	ServerAddr string
+	// ListenAddr is where this client accepts peer model transfers
+	// (default "127.0.0.1:0").
+	ListenAddr string
+	// Timeout bounds every blocking network operation (default 30s).
+	Timeout time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Client is a FedMigr edge node: it trains every model currently hosted on
+// its local dataset, ships completion signals to the server, executes
+// migration orders by sending models directly to peers, and uploads hosted
+// models at aggregation.
+type Client struct {
+	cfg     ClientConfig
+	dataset *data.Dataset
+	factory core.ModelFactory
+
+	id       int
+	k        int
+	rounds   int
+	aggEvery int
+	tau      int
+	batch    int
+	lr       float64
+
+	conn net.Conn
+	ln   net.Listener
+
+	// hosted maps model id → model instance.
+	hosted map[int]*nn.Sequential
+	opts   map[int]*nn.SGD
+	mu     sync.Mutex
+
+	// Epochs counts local epochs run (instrumentation).
+	Epochs int
+	// Migrations counts models sent to peers (instrumentation).
+	Migrations int
+}
+
+// NewClient builds a node around its local dataset and the shared model
+// factory.
+func NewClient(cfg ClientConfig, dataset *data.Dataset, factory core.ModelFactory) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if dataset == nil || dataset.Len() == 0 {
+		return nil, fmt.Errorf("fednet: client needs a non-empty dataset")
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("fednet: client needs a model factory")
+	}
+	if cfg.ServerAddr == "" {
+		return nil, fmt.Errorf("fednet: client needs a server address")
+	}
+	return &Client{
+		cfg: cfg, dataset: dataset, factory: factory,
+		hosted: make(map[int]*nn.Sequential),
+		opts:   make(map[int]*nn.SGD),
+	}, nil
+}
+
+// ID returns the server-assigned client id (valid after Run connects).
+func (c *Client) ID() int { return c.id }
+
+// Run connects, registers, and participates until the server shuts the
+// session down.
+func (c *Client) Run() error {
+	ln, err := net.Listen("tcp", c.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("fednet: client listen: %w", err)
+	}
+	c.ln = ln
+	defer ln.Close()
+
+	conn, err := net.Dial("tcp", c.cfg.ServerAddr)
+	if err != nil {
+		return fmt.Errorf("fednet: dial server: %w", err)
+	}
+	c.conn = conn
+	defer conn.Close()
+
+	setDeadline(conn, c.cfg.Timeout)
+	if err := WriteMessage(conn, &Message{
+		Type:       MsgHello,
+		ListenAddr: ln.Addr().String(),
+		NumSamples: c.dataset.Len(),
+		Dist:       c.dataset.LabelDistribution(),
+	}); err != nil {
+		return err
+	}
+	welcome, err := expect(conn, MsgWelcome)
+	if err != nil {
+		return err
+	}
+	c.id = welcome.ClientID
+	c.k = welcome.K
+	c.rounds = welcome.Rounds
+	c.aggEvery = welcome.AggEvery
+	c.tau = welcome.Tau
+	c.batch = welcome.BatchSize
+	c.lr = welcome.LR
+
+	for {
+		setDeadline(conn, c.cfg.Timeout)
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgGlobalModel:
+			if err := c.onGlobalModel(m); err != nil {
+				return err
+			}
+		case MsgMigrationOrder:
+			if err := c.onMigration(m); err != nil {
+				return err
+			}
+		case MsgAggregateOrder:
+			if err := c.onAggregate(); err != nil {
+				return err
+			}
+		case MsgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("fednet: client %d: unexpected %v", c.id, m.Type)
+		}
+	}
+}
+
+// onGlobalModel installs the fresh global model as this client's home
+// replica, runs the first local-updating phase and signals completion.
+func (c *Client) onGlobalModel(m *Message) error {
+	model := c.factory()
+	if err := model.UnmarshalParams(m.Params); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.hosted = map[int]*nn.Sequential{m.ModelID: model}
+	c.opts = map[int]*nn.SGD{m.ModelID: nn.NewSGD(c.lr)}
+	c.mu.Unlock()
+	return c.localUpdateAndSignal()
+}
+
+// localUpdateAndSignal trains every hosted model for τ epochs and sends
+// the completion signal.
+func (c *Client) localUpdateAndSignal() error {
+	loss := c.trainHosted()
+	setDeadline(c.conn, c.cfg.Timeout)
+	return WriteMessage(c.conn, &Message{Type: MsgCompletion, Loss: loss})
+}
+
+// trainHosted runs τ epochs of mini-batch SGD for every hosted model and
+// returns the mean batch loss.
+func (c *Client) trainHosted() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lossSum, n := 0.0, 0
+	for id, model := range c.hosted {
+		opt := c.opts[id]
+		for e := 0; e < c.tau; e++ {
+			for lo := 0; lo < c.dataset.Len(); lo += c.batch {
+				hi := lo + c.batch
+				if hi > c.dataset.Len() {
+					hi = c.dataset.Len()
+				}
+				x, y := c.dataset.Batch(lo, hi)
+				model.ZeroGrad()
+				out := model.Forward(x, true)
+				loss, grad := nn.CrossEntropy(out, y)
+				model.Backward(grad)
+				opt.Step(model)
+				lossSum += loss
+				n++
+			}
+			c.Epochs++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return lossSum / float64(n)
+}
+
+// onMigration ships ordered models to peers, receives the announced number
+// of inbound models, confirms, and runs the next local-updating phase.
+func (c *Client) onMigration(m *Message) error {
+	// Receive inbound transfers concurrently with outbound sends so two
+	// clients exchanging models cannot deadlock.
+	type inResult struct {
+		models map[int]*nn.Sequential
+		err    error
+	}
+	inCh := make(chan inResult, 1)
+	go func() {
+		got := make(map[int]*nn.Sequential, m.Inbound)
+		for i := 0; i < m.Inbound; i++ {
+			conn, err := c.ln.Accept()
+			if err != nil {
+				inCh <- inResult{nil, fmt.Errorf("fednet: client %d accept transfer: %w", c.id, err)}
+				return
+			}
+			setDeadline(conn, c.cfg.Timeout)
+			tm, err := expect(conn, MsgModelTransfer)
+			conn.Close()
+			if err != nil {
+				inCh <- inResult{nil, err}
+				return
+			}
+			model := c.factory()
+			if err := model.UnmarshalParams(tm.Params); err != nil {
+				inCh <- inResult{nil, err}
+				return
+			}
+			got[tm.ModelID] = model
+		}
+		inCh <- inResult{got, nil}
+	}()
+
+	// Outbound sends.
+	for _, o := range m.Orders {
+		c.mu.Lock()
+		model, ok := c.hosted[o.ModelID]
+		if ok {
+			delete(c.hosted, o.ModelID)
+			delete(c.opts, o.ModelID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("fednet: client %d ordered to send model %d it does not host", c.id, o.ModelID)
+		}
+		params, err := model.MarshalParams()
+		if err != nil {
+			return err
+		}
+		peer, err := net.DialTimeout("tcp", o.DestAddr, c.cfg.Timeout)
+		if err != nil {
+			return fmt.Errorf("fednet: client %d dial peer %s: %w", c.id, o.DestAddr, err)
+		}
+		setDeadline(peer, c.cfg.Timeout)
+		err = WriteMessage(peer, &Message{Type: MsgModelTransfer, ModelID: o.ModelID, Params: params})
+		peer.Close()
+		if err != nil {
+			return err
+		}
+		c.Migrations++
+	}
+
+	in := <-inCh
+	if in.err != nil {
+		return in.err
+	}
+	c.mu.Lock()
+	for id, model := range in.models {
+		c.hosted[id] = model
+		c.opts[id] = nn.NewSGD(c.lr)
+	}
+	c.mu.Unlock()
+
+	setDeadline(c.conn, c.cfg.Timeout)
+	if err := WriteMessage(c.conn, &Message{Type: MsgTransferDone}); err != nil {
+		return err
+	}
+	return c.localUpdateAndSignal()
+}
+
+// onAggregate uploads every hosted model to the server.
+func (c *Client) onAggregate() error {
+	c.mu.Lock()
+	ids := make([]int, 0, len(c.hosted))
+	for id := range c.hosted {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	// Stable order keeps server reads deterministic.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		c.mu.Lock()
+		model := c.hosted[id]
+		c.mu.Unlock()
+		params, err := model.MarshalParams()
+		if err != nil {
+			return err
+		}
+		setDeadline(c.conn, c.cfg.Timeout)
+		if err := WriteMessage(c.conn, &Message{
+			Type: MsgLocalUpdate, ModelID: id, Params: params,
+			Weight: float64(c.dataset.Len()),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package fednet
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"fedmigr/internal/core"
+	"fedmigr/internal/data"
+	"fedmigr/internal/nn"
+	"fedmigr/internal/tensor"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{
+		Type: MsgModelTransfer, Round: 3, ModelID: 7,
+		Params:  []byte{1, 2, 3, 4},
+		Orders:  []Order{{ModelID: 1, DestID: 2, DestAddr: "x:1"}},
+		Dist:    []float64{0.5, 0.5},
+		Loss:    1.25,
+		Inbound: 2,
+	}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.ModelID != 7 || out.Loss != 1.25 || out.Inbound != 2 {
+		t.Fatalf("round trip %+v", out)
+	}
+	if len(out.Params) != 4 || out.Params[2] != 3 {
+		t.Fatalf("params %v", out.Params)
+	}
+	if len(out.Orders) != 1 || out.Orders[0].DestAddr != "x:1" {
+		t.Fatalf("orders %+v", out.Orders)
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("truncated length must error")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0, 0, 10, 1, 2})); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+}
+
+func TestReadMessageOversizeFrame(t *testing.T) {
+	var hdr [4]byte
+	hdr[0] = 0xFF // ~4 GiB claimed length
+	if _, err := ReadMessage(bytes.NewReader(append(hdr[:], 0))); err == nil {
+		t.Fatal("oversize frame must be rejected")
+	}
+}
+
+func TestExpectWrongType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgHello}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expect(&buf, MsgWelcome); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgHello.String() != "Hello" || MsgShutdown.String() != "Shutdown" {
+		t.Fatal("names wrong")
+	}
+	if MsgType(99).String() == "" {
+		t.Fatal("unknown type must still render")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	factory := func() *nn.Sequential { return nn.NewMLP(tensor.NewRNG(1), 2, 2) }
+	if _, err := NewServer(ServerConfig{}, factory, nil); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	if _, err := NewServer(ServerConfig{K: 2}, nil, nil); err == nil {
+		t.Fatal("nil factory must fail")
+	}
+	if _, err := NewServer(ServerConfig{K: 2}, factory, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	ds, _ := data.Synthetic(data.SyntheticConfig{Classes: 2, PerClass: 2, Seed: 1})
+	factory := func() *nn.Sequential { return nn.NewMLP(tensor.NewRNG(1), 2, 2) }
+	if _, err := NewClient(ClientConfig{ServerAddr: "x"}, nil, factory); err == nil {
+		t.Fatal("nil dataset must fail")
+	}
+	if _, err := NewClient(ClientConfig{ServerAddr: "x"}, ds, nil); err == nil {
+		t.Fatal("nil factory must fail")
+	}
+	if _, err := NewClient(ClientConfig{}, ds, factory); err == nil {
+		t.Fatal("missing server address must fail")
+	}
+}
+
+// runSession spins up a server and k clients over loopback TCP and runs a
+// full session, returning the server for inspection.
+func runSession(t *testing.T, k, rounds, aggEvery int, migrator core.Migrator) (*Server, []*Client) {
+	t.Helper()
+	train, _ := data.Synthetic(data.SyntheticConfig{
+		Classes: k, Channels: 1, Height: 4, Width: 4,
+		PerClass: 8, Noise: 0.6, Seed: 42,
+	})
+	parts := data.PartitionShards(train, k, 1, tensor.NewRNG(1))
+	factory := func() *nn.Sequential {
+		g := tensor.NewRNG(7)
+		return nn.NewSequential(
+			nn.NewFlatten(),
+			nn.NewDense(g, 16, 16), nn.NewReLU(),
+			nn.NewDense(g, 16, k),
+		)
+	}
+	srv, err := NewServer(ServerConfig{
+		K: k, Rounds: rounds, AggEvery: aggEvery, BatchSize: 8, LR: 0.05,
+		Timeout: 10 * time.Second,
+	}, factory, migrator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clients := make([]*Client, k)
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		c, err := NewClient(ClientConfig{ServerAddr: addr, Timeout: 10 * time.Second}, parts[i], factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = clients[i].Run()
+		}(i)
+	}
+	if err := srv.Run(); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	return srv, clients
+}
+
+func TestSessionFedAvgStyle(t *testing.T) {
+	srv, clients := runSession(t, 3, 2, 1, nil)
+	if len(srv.History) != 2 {
+		t.Fatalf("history %v", srv.History)
+	}
+	for _, c := range clients {
+		if c.Epochs != 2 {
+			t.Fatalf("client ran %d epochs, want 2", c.Epochs)
+		}
+		if c.Migrations != 0 {
+			t.Fatal("aggEvery=1 must not migrate")
+		}
+	}
+	if v := srv.GlobalModel().ParamVector(); math.IsNaN(v.Mean()) {
+		t.Fatal("NaN global model")
+	}
+}
+
+func TestSessionWithMigration(t *testing.T) {
+	srv, clients := runSession(t, 3, 2, 3, core.NewRandomMigrator(5))
+	if len(srv.History) != 2 {
+		t.Fatalf("history %v", srv.History)
+	}
+	totalMigrations := 0
+	totalEpochs := 0
+	for _, c := range clients {
+		totalMigrations += c.Migrations
+		totalEpochs += c.Epochs
+	}
+	if totalMigrations == 0 {
+		t.Fatal("random migration session moved no models over TCP")
+	}
+	// 2 rounds × 3 events × τ=1 × 3 models = 18 model-epochs total.
+	if totalEpochs != 18 {
+		t.Fatalf("total model-epochs %d, want 18", totalEpochs)
+	}
+}
+
+func TestSessionLossImproves(t *testing.T) {
+	srv, _ := runSession(t, 3, 4, 2, core.NewRandomMigrator(9))
+	first, last := srv.History[0], srv.History[len(srv.History)-1]
+	if !(last < first) {
+		t.Fatalf("distributed training did not reduce loss: %v → %v", first, last)
+	}
+}
+
+func TestSessionGreedyPolicyOverTCP(t *testing.T) {
+	srv, clients := runSession(t, 4, 2, 3, &core.GreedyEMDMigrator{})
+	_ = srv
+	moved := 0
+	for _, c := range clients {
+		moved += c.Migrations
+	}
+	if moved == 0 {
+		t.Fatal("greedy policy never migrated despite one-class-per-client data")
+	}
+}
+
+func TestServerRunWithoutListen(t *testing.T) {
+	factory := func() *nn.Sequential { return nn.NewMLP(tensor.NewRNG(1), 2, 2) }
+	srv, err := NewServer(ServerConfig{K: 1}, factory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Run(); err == nil {
+		t.Fatal("Run before Listen must fail")
+	}
+}

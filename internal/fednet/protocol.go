@@ -1,0 +1,197 @@
+// Package fednet is the distributed runtime of the reproduction: a real
+// parameter server and client nodes exchanging models over TCP — the
+// counterpart of the paper's 30-device test-bed (Sec. IV-D). Unlike
+// internal/core, which simulates transfers through a cost model, fednet
+// actually moves serialized model parameters over the network: clients
+// upload to the server over its listener (C2S) and migrate models directly
+// to peer listeners (C2C), exactly the communication pattern FedMigr
+// exploits.
+//
+// The wire protocol is length-prefixed gob frames. Every conversation is
+// strictly turn-based per round, mirroring Fig. 2's synchronous workflow:
+// Hello/Welcome, then per round Model Distribution → (Local Updating →
+// Completion → Migration)× → Local Updating → Aggregation.
+package fednet
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// MsgType identifies a protocol frame.
+type MsgType uint8
+
+// Protocol frames.
+const (
+	// MsgHello is the client's registration: listen address and label
+	// distribution of its local dataset.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome assigns the client its id and the run configuration.
+	MsgWelcome
+	// MsgGlobalModel distributes the fresh global parameters (Model
+	// Distribution).
+	MsgGlobalModel
+	// MsgCompletion is the client's end-of-local-updating signal with its
+	// current loss (Sec. II-B: "each client sends a completion signal").
+	MsgCompletion
+	// MsgMigrationOrder tells a client where each of its hosted models
+	// goes, and how many inbound models to expect.
+	MsgMigrationOrder
+	// MsgModelTransfer carries a model from one client to another (C2C).
+	MsgModelTransfer
+	// MsgTransferDone confirms a client finished its migration sends and
+	// receives.
+	MsgTransferDone
+	// MsgAggregateOrder tells a client to upload all hosted models.
+	MsgAggregateOrder
+	// MsgLocalUpdate uploads one hosted model to the server (Global
+	// Aggregation).
+	MsgLocalUpdate
+	// MsgShutdown ends the session.
+	MsgShutdown
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgHello: "Hello", MsgWelcome: "Welcome", MsgGlobalModel: "GlobalModel",
+		MsgCompletion: "Completion", MsgMigrationOrder: "MigrationOrder",
+		MsgModelTransfer: "ModelTransfer", MsgTransferDone: "TransferDone",
+		MsgAggregateOrder: "AggregateOrder", MsgLocalUpdate: "LocalUpdate",
+		MsgShutdown: "Shutdown",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Order is one outbound migration instruction.
+type Order struct {
+	ModelID int
+	// DestID and DestAddr locate the receiving client; DestID == the
+	// sender's id means the model stays.
+	DestID   int
+	DestAddr string
+}
+
+// Message is the universal protocol frame payload.
+type Message struct {
+	Type  MsgType
+	Round int
+	Epoch int
+
+	// Hello / Welcome.
+	ClientID   int
+	ListenAddr string
+	NumSamples int
+	Dist       []float64
+	K          int
+	// Run configuration (Welcome).
+	Rounds    int
+	AggEvery  int
+	Tau       int
+	BatchSize int
+	LR        float64
+
+	// Completion.
+	Loss float64
+
+	// Migration.
+	Orders  []Order
+	Inbound int
+
+	// Model payloads (GlobalModel, ModelTransfer, LocalUpdate).
+	ModelID int
+	Weight  float64
+	Params  []byte
+	// EffDist carries the model's effective label mixture so the server's
+	// policy state stays current after C2C moves.
+	EffDist []float64
+}
+
+const maxFrame = 64 << 20 // 64 MiB: far above any model in the zoo
+
+// WriteMessage writes one length-prefixed gob frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	var payload frameBuffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return fmt.Errorf("fednet: encode %v: %w", m.Type, err)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("fednet: write frame length: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("fednet: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one length-prefixed gob frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("fednet: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("fednet: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("fednet: read frame: %w", err)
+	}
+	var m Message
+	if err := gob.NewDecoder(frameReader{payload, new(int)}).Decode(&m); err != nil {
+		return nil, fmt.Errorf("fednet: decode frame: %w", err)
+	}
+	return &m, nil
+}
+
+// frameBuffer is a minimal append-only buffer (avoids bytes import churn).
+type frameBuffer []byte
+
+func (b *frameBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// frameReader reads from a byte slice.
+type frameReader struct {
+	b   []byte
+	off *int
+}
+
+func (r frameReader) Read(p []byte) (int, error) {
+	if *r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[*r.off:])
+	*r.off += n
+	return n, nil
+}
+
+// expect reads a frame and verifies its type.
+func expect(r io.Reader, want MsgType) (*Message, error) {
+	m, err := ReadMessage(r)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("fednet: got %v, want %v", m.Type, want)
+	}
+	return m, nil
+}
+
+// setDeadline applies a deadline when the connection supports it.
+func setDeadline(c net.Conn, d time.Duration) {
+	if d > 0 {
+		_ = c.SetDeadline(time.Now().Add(d))
+	}
+}

@@ -1,0 +1,379 @@
+package fednet
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"fedmigr/internal/core"
+	"fedmigr/internal/nn"
+	"fedmigr/internal/stats"
+	"fedmigr/internal/tensor"
+)
+
+// ServerConfig parameterizes the parameter server.
+type ServerConfig struct {
+	// K is the number of clients to wait for.
+	K int
+	// Rounds is G, the number of global iterations.
+	Rounds int
+	// AggEvery, Tau, BatchSize, LR are forwarded to clients in Welcome.
+	AggEvery  int
+	Tau       int
+	BatchSize int
+	LR        float64
+	// Timeout bounds every blocking network operation (default 30s).
+	Timeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.AggEvery <= 0 {
+		c.AggEvery = 1
+	}
+	if c.Tau <= 0 {
+		c.Tau = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the FedMigr parameter server: it registers K clients, drives
+// the synchronous round workflow of Fig. 2, computes migration policies
+// from the reported state, and aggregates uploaded models.
+type Server struct {
+	cfg      ServerConfig
+	factory  core.ModelFactory
+	global   *nn.Sequential
+	migrator core.Migrator
+	ln       net.Listener
+
+	conns   []net.Conn
+	addrs   []string
+	weights []float64
+
+	// Policy state, mirroring the simulator's bookkeeping.
+	loc        []int // model id → hosting client id
+	clientDist []stats.Distribution
+	effDist    []stats.Distribution
+	effSeen    []float64
+	lastLoss   float64
+	prevLoss   float64
+	epoch      int
+
+	// History records the per-round average reported loss.
+	History []float64
+}
+
+// NewServer creates a server around a model factory (every client must
+// run the identical architecture) and a migration policy (nil migrator
+// keeps every model in place, degrading FedMigr to periodic-averaging
+// FedAvg).
+func NewServer(cfg ServerConfig, factory core.ModelFactory, migrator core.Migrator) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("fednet: server needs K > 0")
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("fednet: server needs a model factory")
+	}
+	if migrator == nil {
+		migrator = core.StayMigrator{}
+	}
+	return &Server{cfg: cfg, factory: factory, global: factory(), migrator: migrator}, nil
+}
+
+// Listen binds the server to addr (use "127.0.0.1:0" for an ephemeral
+// port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fednet: listen: %w", err)
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Close releases the server's listener and client connections.
+func (s *Server) Close() {
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for _, c := range s.conns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// GlobalModel returns the server's current global model.
+func (s *Server) GlobalModel() *nn.Sequential { return s.global }
+
+// accept registers the K clients.
+func (s *Server) accept() error {
+	k := s.cfg.K
+	s.conns = make([]net.Conn, k)
+	s.addrs = make([]string, k)
+	s.weights = make([]float64, k)
+	s.clientDist = make([]stats.Distribution, k)
+	s.effDist = make([]stats.Distribution, k)
+	s.effSeen = make([]float64, k)
+	s.loc = make([]int, k)
+	for id := 0; id < k; id++ {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("fednet: accept: %w", err)
+		}
+		setDeadline(conn, s.cfg.Timeout)
+		hello, err := expect(conn, MsgHello)
+		if err != nil {
+			return err
+		}
+		s.conns[id] = conn
+		s.addrs[id] = hello.ListenAddr
+		s.weights[id] = float64(hello.NumSamples)
+		s.clientDist[id] = stats.Distribution(hello.Dist)
+		s.effDist[id] = stats.Distribution(append([]float64(nil), hello.Dist...))
+		s.effSeen[id] = float64(hello.NumSamples)
+		s.loc[id] = id
+		if err := WriteMessage(conn, &Message{
+			Type: MsgWelcome, ClientID: id, K: k,
+			Rounds: s.cfg.Rounds, AggEvery: s.cfg.AggEvery, Tau: s.cfg.Tau,
+			BatchSize: s.cfg.BatchSize, LR: s.cfg.LR,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// broadcast sends one message to every client.
+func (s *Server) broadcast(build func(id int) *Message) error {
+	for id, conn := range s.conns {
+		setDeadline(conn, s.cfg.Timeout)
+		if err := WriteMessage(conn, build(id)); err != nil {
+			return fmt.Errorf("fednet: to client %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// collect reads one message of the given type from every client.
+func (s *Server) collect(want MsgType) ([]*Message, error) {
+	out := make([]*Message, len(s.conns))
+	for id, conn := range s.conns {
+		setDeadline(conn, s.cfg.Timeout)
+		m, err := expect(conn, want)
+		if err != nil {
+			return nil, fmt.Errorf("fednet: from client %d: %w", id, err)
+		}
+		out[id] = m
+	}
+	return out, nil
+}
+
+// policyState assembles the core.State the migration policy consumes.
+func (s *Server) policyState() *core.State {
+	k := s.cfg.K
+	d := make([][]float64, k)
+	cost := make([][]float64, k)
+	active := make([]bool, k)
+	for m := 0; m < k; m++ {
+		d[m] = make([]float64, k)
+		cost[m] = make([]float64, k)
+		active[m] = true
+		for j := 0; j < k; j++ {
+			d[m][j] = stats.EMD(s.effDist[m], s.clientDist[j])
+		}
+	}
+	return &core.State{
+		Epoch:       s.epoch,
+		Loss:        s.lastLoss,
+		PrevLoss:    s.prevLoss,
+		D:           d,
+		Locations:   append([]int(nil), s.loc...),
+		Active:      active,
+		CostSeconds: cost, // real transfers are timed by the network itself
+	}
+}
+
+// Run drives the full session: registration, G rounds of the four-process
+// workflow, and shutdown. It blocks until completion.
+func (s *Server) Run() error {
+	if s.ln == nil {
+		return fmt.Errorf("fednet: server not listening")
+	}
+	if err := s.accept(); err != nil {
+		return err
+	}
+	k := s.cfg.K
+	for round := 0; round < s.cfg.Rounds; round++ {
+		// Model Distribution.
+		params, err := s.global.MarshalParams()
+		if err != nil {
+			return err
+		}
+		for m := 0; m < k; m++ {
+			s.loc[m] = m
+			s.effDist[m] = append(stats.Distribution(nil), s.clientDist[m]...)
+			s.effSeen[m] = s.weights[m]
+		}
+		if err := s.broadcast(func(id int) *Message {
+			return &Message{Type: MsgGlobalModel, Round: round, ModelID: id, Params: params}
+		}); err != nil {
+			return err
+		}
+
+		for event := 0; event < s.cfg.AggEvery; event++ {
+			// Local Updating: wait for completion signals.
+			comps, err := s.collect(MsgCompletion)
+			if err != nil {
+				return err
+			}
+			lossSum := 0.0
+			for _, c := range comps {
+				lossSum += c.Loss
+			}
+			s.prevLoss, s.lastLoss = s.lastLoss, lossSum/float64(len(comps))
+			s.epoch += s.cfg.Tau
+			s.foldHostDistributions()
+
+			if event < s.cfg.AggEvery-1 {
+				if err := s.migrationEvent(); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Global Aggregation.
+		if err := s.broadcast(func(int) *Message {
+			return &Message{Type: MsgAggregateOrder, Round: round}
+		}); err != nil {
+			return err
+		}
+		if err := s.aggregate(); err != nil {
+			return err
+		}
+		s.History = append(s.History, s.lastLoss)
+	}
+	return s.broadcast(func(int) *Message { return &Message{Type: MsgShutdown} })
+}
+
+// foldHostDistributions advances every model's effective label mixture
+// (Eq. 12's virtual dataset) by the host data it just trained on.
+func (s *Server) foldHostDistributions() {
+	for m := range s.effDist {
+		host := s.loc[m]
+		n := s.weights[host]
+		if n == 0 {
+			continue
+		}
+		tot := s.effSeen[m] + n
+		mix := make(stats.Distribution, len(s.effDist[m]))
+		for i := range mix {
+			mix[i] = (s.effDist[m][i]*s.effSeen[m] + s.clientDist[host][i]*n) / tot
+		}
+		s.effDist[m] = mix
+		s.effSeen[m] = tot
+	}
+}
+
+// migrationEvent computes the policy, issues orders, and waits for the
+// transfer confirmations.
+func (s *Server) migrationEvent() error {
+	st := s.policyState()
+	dest := s.migrator.Plan(st)
+	if len(dest) != s.cfg.K {
+		return fmt.Errorf("fednet: policy returned %d destinations for %d models", len(dest), s.cfg.K)
+	}
+	// Sanitize: stay for invalid destinations.
+	for m, d := range dest {
+		if d < 0 || d >= s.cfg.K {
+			dest[m] = s.loc[m]
+		}
+	}
+	// Per-client outbound orders and inbound counts.
+	orders := make([][]Order, s.cfg.K)
+	inbound := make([]int, s.cfg.K)
+	for m, d := range dest {
+		src := s.loc[m]
+		if d == src {
+			continue
+		}
+		orders[src] = append(orders[src], Order{ModelID: m, DestID: d, DestAddr: s.addrs[d]})
+		inbound[d]++
+	}
+	// Deterministic order within a client.
+	for _, os := range orders {
+		sort.Slice(os, func(i, j int) bool { return os[i].ModelID < os[j].ModelID })
+	}
+	if err := s.broadcast(func(id int) *Message {
+		return &Message{Type: MsgMigrationOrder, Orders: orders[id], Inbound: inbound[id]}
+	}); err != nil {
+		return err
+	}
+	done, err := s.collect(MsgTransferDone)
+	if err != nil {
+		return err
+	}
+	_ = done
+	// Commit the new location map and advance the effective mixtures.
+	for m, d := range dest {
+		s.loc[m] = d
+	}
+	st2 := s.policyState()
+	s.migrator.Feedback(st, dest, st2, false, false)
+	return nil
+}
+
+// aggregate receives one LocalUpdate per model and installs the weighted
+// average as the new global model.
+func (s *Server) aggregate() error {
+	k := s.cfg.K
+	total := 0.0
+	for _, w := range s.weights {
+		total += w
+	}
+	agg := tensor.New(s.global.NumParams())
+	recv := 0
+	// Each client uploads one LocalUpdate per hosted model; total = K.
+	hosted := make([]int, k)
+	for _, host := range s.loc {
+		hosted[host]++
+	}
+	for id, conn := range s.conns {
+		for n := 0; n < hosted[id]; n++ {
+			setDeadline(conn, s.cfg.Timeout)
+			m, err := expect(conn, MsgLocalUpdate)
+			if err != nil {
+				return fmt.Errorf("fednet: update from client %d: %w", id, err)
+			}
+			tmp := s.factory()
+			if err := tmp.UnmarshalParams(m.Params); err != nil {
+				return err
+			}
+			w := s.weights[m.ModelID] / total
+			agg.AddScaledInPlace(tmp.ParamVector(), w)
+			if len(m.EffDist) > 0 {
+				s.effDist[m.ModelID] = stats.Distribution(m.EffDist)
+			}
+			recv++
+		}
+	}
+	if recv != k {
+		return fmt.Errorf("fednet: aggregated %d of %d models", recv, k)
+	}
+	s.global.SetParamVector(agg)
+	return nil
+}

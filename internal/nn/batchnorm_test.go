@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedmigr/internal/tensor"
+)
+
+func TestBatchNormNormalizesTrainBatch(t *testing.T) {
+	g := tensor.NewRNG(1)
+	bn := NewBatchNorm2D(2)
+	x := tensor.Randn(g, 3, 4, 2, 3, 3) // shifted/scaled input
+	x.Apply(func(v float64) float64 { return 5 + 2*v })
+	y := bn.Forward(x, true)
+	// With γ=1, β=0 each channel of the output has mean≈0 and var≈1.
+	n, c, plane := 4, 2, 9
+	for ci := 0; ci < c; ci++ {
+		var sum, sq float64
+		for ni := 0; ni < n; ni++ {
+			for i := 0; i < plane; i++ {
+				v := y.Data()[(ni*c+ci)*plane+i]
+				sum += v
+				sq += v * v
+			}
+		}
+		count := float64(n * plane)
+		mean := sum / count
+		variance := sq/count - mean*mean
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("channel %d mean=%v var=%v", ci, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormGradient(t *testing.T) {
+	g := tensor.NewRNG(2)
+	m := NewSequential(
+		NewConv2D(g, 1, 2, 3, 3, 1, 1),
+		NewBatchNorm2D(2),
+		NewReLU(),
+		NewFlatten(),
+		NewDense(g, 2*3*3, 2),
+	)
+	x := tensor.Randn(g, 1, 2, 1, 3, 3)
+	// Freeze the running-statistics update during the numeric probes by
+	// checking gradients of the *training* pass against finite differences
+	// of training-mode loss with fixed batch statistics: the train-mode
+	// forward is a pure function of inputs and parameters, so central
+	// differences remain valid (running stats do not feed the output in
+	// train mode).
+	labels := []int{0, 1}
+	lossFn := func() float64 {
+		out := m.Forward(x, true)
+		l, _ := CrossEntropy(out, labels)
+		return l
+	}
+	m.ZeroGrad()
+	out := m.Forward(x, true)
+	_, gr := CrossEntropy(out, labels)
+	m.Backward(gr)
+	ps, gs := m.Params()
+	for pi, p := range ps {
+		if gs[pi] == nil {
+			continue // running statistics
+		}
+		for i := range p.Data() {
+			orig := p.Data()[i]
+			const h = 1e-5
+			p.Data()[i] = orig + h
+			lp := lossFn()
+			p.Data()[i] = orig - h
+			lm := lossFn()
+			p.Data()[i] = orig
+			want := (lp - lm) / (2 * h)
+			got := gs[pi].Data()[i]
+			if math.Abs(got-want) > 2e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d elem %d: analytic %v vs numeric %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	g := tensor.NewRNG(3)
+	bn := NewBatchNorm2D(1)
+	// Feed several training batches with mean 10 so running stats move.
+	for i := 0; i < 50; i++ {
+		x := tensor.Randn(g, 1, 4, 1, 2, 2)
+		x.Apply(func(v float64) float64 { return 10 + v })
+		bn.Forward(x, true)
+	}
+	if math.Abs(bn.RunMean.Data()[0]-10) > 0.5 {
+		t.Fatalf("running mean %v, want ≈10", bn.RunMean.Data()[0])
+	}
+	// Inference on a mean-10 input must normalize toward 0.
+	x := tensor.Full(10, 1, 1, 2, 2)
+	y := bn.Forward(x, false)
+	if math.Abs(y.Mean()) > 0.5 {
+		t.Fatalf("inference output mean %v, want ≈0", y.Mean())
+	}
+}
+
+func TestBatchNormStatsNotOptimized(t *testing.T) {
+	g := tensor.NewRNG(4)
+	bn := NewBatchNorm2D(1)
+	m := NewSequential(bn, NewFlatten(), NewDense(g, 4, 2))
+	opt := NewSGDMomentum(0.1, 0.9)
+	opt.WeightDecay = 0.1
+	x := tensor.Randn(g, 1, 2, 1, 2, 2)
+	m.ZeroGrad()
+	out := m.Forward(x, true)
+	_, gr := CrossEntropy(out, []int{0, 1})
+	m.Backward(gr)
+	meanBefore := append([]float64(nil), bn.RunMean.Data()...)
+	opt.Step(m)
+	for i := range meanBefore {
+		if bn.RunMean.Data()[i] != meanBefore[i] {
+			t.Fatal("optimizer must not touch running statistics")
+		}
+	}
+}
+
+func TestBatchNormSerializesStats(t *testing.T) {
+	g := tensor.NewRNG(5)
+	mk := func() *Sequential {
+		return NewSequential(NewBatchNorm2D(1), NewFlatten(), NewDense(tensor.NewRNG(9), 4, 2))
+	}
+	m := mk()
+	x := tensor.Randn(g, 1, 4, 1, 2, 2)
+	m.Forward(x, true) // moves running stats
+	b, err := m.MarshalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := mk()
+	if err := m2.UnmarshalParams(b); err != nil {
+		t.Fatal(err)
+	}
+	bn1 := m.Layers[0].(*BatchNorm2D)
+	bn2 := m2.Layers[0].(*BatchNorm2D)
+	for i := range bn1.RunMean.Data() {
+		if bn1.RunMean.Data()[i] != bn2.RunMean.Data()[i] {
+			t.Fatal("running stats must serialize with the model")
+		}
+	}
+}
+
+func TestBatchNormPanicsOnWrongChannels(t *testing.T) {
+	bn := NewBatchNorm2D(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bn.Forward(tensor.New(1, 2, 2, 2), false)
+}

@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedmigr/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over NCHW batches with kernels of
+// shape (filters, inChannels, kh, kw) and a per-filter bias.
+type Conv2D struct {
+	K, B   *tensor.Tensor
+	GK, GB *tensor.Tensor
+	P      tensor.ConvParams
+
+	inShape []int
+	cols    *tensor.Tensor // cached Im2Col of the input
+}
+
+// NewConv2D returns a Conv2D layer with He-initialized kernels.
+func NewConv2D(g *tensor.RNG, inC, outC, kh, kw, stride, pad int) *Conv2D {
+	fanIn := inC * kh * kw
+	return &Conv2D{
+		K:  tensor.HeNormal(g, fanIn, outC, inC, kh, kw),
+		B:  tensor.New(outC),
+		GK: tensor.New(outC, inC, kh, kw),
+		GB: tensor.New(outC),
+		P:  tensor.ConvParams{KernelH: kh, KernelW: kw, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad},
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f := c.K.Dim(0)
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.P.OutSize(h, w)
+	cols := tensor.Im2Col(x, c.P) // (N*OH*OW, C*KH*KW)
+	if train {
+		c.inShape = append(c.inShape[:0], x.Shape()...)
+		c.cols = cols
+	} else {
+		c.cols = nil
+	}
+	kmat := c.K.Reshape(f, cols.Dim(1))
+	out := tensor.MatMulTransB(cols, kmat) // (N*OH*OW, F)
+	res := tensor.New(n, f, oh, ow)
+	od, rd := out.Data(), res.Data()
+	for ni := 0; ni < n; ni++ {
+		for pos := 0; pos < oh*ow; pos++ {
+			row := (ni*oh*ow + pos) * f
+			for fi := 0; fi < f; fi++ {
+				rd[(ni*f+fi)*oh*ow+pos] = od[row+fi] + c.B.Data()[fi]
+			}
+		}
+	}
+	return res
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward without a training Forward")
+	}
+	f := c.K.Dim(0)
+	n, ch, h, w := c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3]
+	oh, ow := c.P.OutSize(h, w)
+	// Rearrange grad (N,F,OH,OW) to (N*OH*OW, F).
+	gm := tensor.New(n*oh*ow, f)
+	gd, gmd := grad.Data(), gm.Data()
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			for pos := 0; pos < oh*ow; pos++ {
+				gmd[(ni*oh*ow+pos)*f+fi] = gd[(ni*f+fi)*oh*ow+pos]
+			}
+		}
+	}
+	// dK = gmᵀ · cols, reshaped to kernel shape; db = column sums of gm.
+	dk := tensor.MatMulTransA(gm, c.cols) // (F, C*KH*KW)
+	c.GK.AddInPlace(dk.Reshape(c.K.Shape()...))
+	c.GB.AddInPlace(gm.SumRows())
+	// dcols = gm · kmat ; dx = Col2Im(dcols).
+	kmat := c.K.Reshape(f, c.cols.Dim(1))
+	dcols := tensor.MatMul(gm, kmat)
+	return tensor.Col2Im(dcols, n, ch, h, w, c.P)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() ([]*tensor.Tensor, []*tensor.Tensor) {
+	return []*tensor.Tensor{c.K, c.B}, []*tensor.Tensor{c.GK, c.GB}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d, %dx%d/s%d)", c.K.Dim(1), c.K.Dim(0), c.P.KernelH, c.P.KernelW, c.P.StrideH)
+}
+
+// MaxPool2D is a max-pooling layer.
+type MaxPool2D struct {
+	P       tensor.ConvParams
+	arg     []int
+	inShape []int
+}
+
+// NewMaxPool2D returns a max-pooling layer with a square window.
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	return &MaxPool2D{P: tensor.ConvParams{KernelH: k, KernelW: k, StrideH: stride, StrideW: stride}}
+}
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y, arg := tensor.MaxPool2D(x, m.P)
+	if train {
+		m.arg = arg
+		m.inShape = append(m.inShape[:0], x.Shape()...)
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2DBackward(grad, m.arg, m.inShape)
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() ([]*tensor.Tensor, []*tensor.Tensor) { return nil, nil }
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string {
+	return fmt.Sprintf("MaxPool2D(%dx%d/s%d)", m.P.KernelH, m.P.KernelW, m.P.StrideH)
+}
+
+// Residual wraps an inner stack of layers with an identity skip
+// connection: y = x + F(x). The inner stack must preserve shape. It is the
+// building block of the ResLite model standing in for ResNet-152.
+type Residual struct {
+	Body []Layer
+}
+
+// NewResidual returns a residual block around the given body layers.
+func NewResidual(body ...Layer) *Residual { return &Residual{Body: body} }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x
+	for _, l := range r.Body {
+		y = l.Forward(y, train)
+	}
+	if !y.SameShape(x) {
+		panic(fmt.Sprintf("nn: Residual body changed shape %v → %v", x.Shape(), y.Shape()))
+	}
+	return y.Add(x)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		g = r.Body[i].Backward(g)
+	}
+	return g.Add(grad)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() ([]*tensor.Tensor, []*tensor.Tensor) {
+	var ps, gs []*tensor.Tensor
+	for _, l := range r.Body {
+		p, g := l.Params()
+		ps = append(ps, p...)
+		gs = append(gs, g...)
+	}
+	return ps, gs
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return fmt.Sprintf("Residual(%d layers)", len(r.Body)) }

@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedmigr/internal/tensor"
+)
+
+func TestDropoutInferencePassThrough(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	g := tensor.NewRNG(2)
+	x := tensor.Randn(g, 1, 2, 8)
+	y := d.Forward(x, false)
+	for i := range x.Data() {
+		if y.Data()[i] != x.Data()[i] {
+			t.Fatal("inference dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainStatistics(t *testing.T) {
+	d := NewDropout(0.3, 3)
+	x := tensor.Ones(1, 20000)
+	y := d.Forward(x, true)
+	zeros, sum := 0, 0.0
+	for _, v := range y.Data() {
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	frac := float64(zeros) / float64(y.Size())
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("drop fraction %v, want ≈0.3", frac)
+	}
+	// Inverted scaling keeps the expectation ≈ 1.
+	if mean := sum / float64(y.Size()); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("post-dropout mean %v, want ≈1", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, 4)
+	g := tensor.NewRNG(5)
+	x := tensor.Randn(g, 1, 1, 16)
+	y := d.Forward(x, true)
+	grad := tensor.Ones(1, 16)
+	dx := d.Backward(grad)
+	for i := range y.Data() {
+		if y.Data()[i] == 0 && dx.Data()[i] != 0 {
+			t.Fatal("gradient must be zero where activation was dropped")
+		}
+		if y.Data()[i] != 0 && dx.Data()[i] == 0 {
+			t.Fatal("gradient must flow where activation survived")
+		}
+	}
+}
+
+func TestDropoutZeroProbability(t *testing.T) {
+	d := NewDropout(0, 6)
+	x := tensor.Ones(1, 4)
+	y := d.Forward(x, true)
+	for _, v := range y.Data() {
+		if v != 1 {
+			t.Fatal("p=0 dropout must be identity")
+		}
+	}
+	dx := d.Backward(tensor.Ones(1, 4))
+	if dx.Sum() != 4 {
+		t.Fatal("p=0 backward must be identity")
+	}
+}
+
+func TestDropoutPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for p=%v", p)
+				}
+			}()
+			NewDropout(p, 1)
+		}()
+	}
+}
+
+func TestAvgPool2DKnownValues(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	a := NewAvgPool2D(2, 2)
+	y := a.Forward(x, false)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("avg[%d]=%v want %v", i, y.Data()[i], w)
+		}
+	}
+}
+
+func TestAvgPool2DGradient(t *testing.T) {
+	g := tensor.NewRNG(7)
+	x := tensor.Randn(g, 1, 1, 2, 4, 4)
+	c := tensor.Randn(g, 1, 1, 2, 2, 2)
+	a := NewAvgPool2D(2, 2)
+	loss := func() float64 { return a.Forward(x, false).Dot(c) }
+	a.Forward(x, true)
+	dx := a.Backward(c)
+	const h = 1e-6
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + h
+		lp := loss()
+		x.Data()[i] = orig - h
+		lm := loss()
+		x.Data()[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(dx.Data()[i]-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("dx[%d]=%v want %v", i, dx.Data()[i], want)
+		}
+	}
+}
+
+func TestAvgPool2DGradientConservation(t *testing.T) {
+	// Avg pooling distributes gradient mass exactly (stride == kernel).
+	g := tensor.NewRNG(8)
+	x := tensor.Randn(g, 1, 2, 3, 4, 4)
+	a := NewAvgPool2D(2, 2)
+	a.Forward(x, true)
+	grad := tensor.Ones(2, 3, 2, 2)
+	dx := a.Backward(grad)
+	if math.Abs(dx.Sum()-grad.Sum()) > 1e-9 {
+		t.Fatalf("gradient mass %v != %v", dx.Sum(), grad.Sum())
+	}
+}
+
+func TestAvgPool2DInModel(t *testing.T) {
+	g := tensor.NewRNG(9)
+	m := NewSequential(
+		NewConv2D(g, 1, 2, 3, 3, 1, 1),
+		NewAvgPool2D(2, 2),
+		NewFlatten(),
+		NewDense(g, 2*2*2, 3),
+	)
+	x := tensor.Randn(g, 1, 2, 1, 4, 4)
+	checkModelGrads(t, m, x, []int{0, 2}, 1e-4)
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, StepSize: 10, Gamma: 0.5}
+	cases := map[int]float64{0: 1, 9: 1, 10: 0.5, 19: 0.5, 20: 0.25}
+	for e, want := range cases {
+		if got := s.LR(e); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("StepLR(%d)=%v want %v", e, got, want)
+		}
+	}
+	flat := StepLR{Base: 2}
+	if flat.LR(100) != 2 {
+		t.Fatal("StepSize 0 must be constant")
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	if (ConstantLR{Base: 0.1}).LR(999) != 0.1 {
+		t.Fatal("constant LR changed")
+	}
+}
+
+func TestInverseDecayLR(t *testing.T) {
+	d := InverseDecayLR{Base: 1, Decay: 1}
+	if d.LR(0) != 1 || d.LR(1) != 0.5 || d.LR(3) != 0.25 {
+		t.Fatalf("got %v %v %v", d.LR(0), d.LR(1), d.LR(3))
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for e := 0; e < 50; e++ {
+		if lr := d.LR(e); lr > prev {
+			t.Fatal("inverse decay must be monotone")
+		} else {
+			prev = lr
+		}
+	}
+}
+
+func TestExtraLayersNames(t *testing.T) {
+	if NewDropout(0.5, 1).Name() == "" || NewAvgPool2D(2, 2).Name() == "" {
+		t.Fatal("empty layer names")
+	}
+}
+
+func TestAlexLiteShapeAndTrainability(t *testing.T) {
+	g := tensor.NewRNG(20)
+	spec := ModelSpec{Channels: 3, Height: 8, Width: 8, Classes: 10}
+	m := NewAlexLite(g, spec)
+	x := tensor.Randn(g, 1, 2, 3, 8, 8)
+	out := m.Forward(x, false)
+	if out.Dim(0) != 2 || out.Dim(1) != 10 {
+		t.Fatalf("AlexLite output %v", out.Shape())
+	}
+	// One step must flow gradients without NaN.
+	opt := NewSGD(0.01)
+	m.ZeroGrad()
+	out = m.Forward(x, true)
+	loss, grad := CrossEntropy(out, []int{1, 3})
+	if math.IsNaN(loss) {
+		t.Fatal("NaN loss")
+	}
+	m.Backward(grad)
+	opt.Step(m)
+	if m.NumParams() == 0 {
+		t.Fatal("no parameters")
+	}
+}

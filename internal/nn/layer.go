@@ -1,0 +1,188 @@
+// Package nn is a small neural-network library built on internal/tensor.
+//
+// It provides the layers, losses and optimizers needed to train the paper's
+// federated models (C10-CNN, C100-CNN, ResLite) and the DDPG actor/critic
+// networks, plus parameter serialization so models can be "migrated"
+// between clients with realistic byte-level traffic accounting.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedmigr/internal/tensor"
+)
+
+// Layer is a differentiable network stage.
+//
+// Forward consumes an input batch and returns the output batch, caching
+// whatever it needs for Backward. Backward consumes the gradient of the
+// loss w.r.t. its output and returns the gradient w.r.t. its input,
+// accumulating parameter gradients internally.
+type Layer interface {
+	// Forward runs the layer on a batch. If train is false the layer must
+	// not cache state and may use inference-only behaviour.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward back-propagates grad (dL/dout) and returns dL/din.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's learnable parameters and their gradient
+	// accumulators, in a stable order. Stateless layers return nil slices.
+	Params() ([]*tensor.Tensor, []*tensor.Tensor)
+	// Name identifies the layer kind for debugging and serialization.
+	Name() string
+}
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with x of shape
+// (batch, in) and W of shape (out, in).
+type Dense struct {
+	W, B   *tensor.Tensor
+	GW, GB *tensor.Tensor
+	in     *tensor.Tensor
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights.
+func NewDense(g *tensor.RNG, in, out int) *Dense {
+	return &Dense{
+		W:  tensor.XavierUniform(g, in, out, out, in),
+		B:  tensor.New(out),
+		GW: tensor.New(out, in),
+		GB: tensor.New(out),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		d.in = x
+	} else {
+		d.in = nil
+	}
+	y := tensor.MatMulTransB(x, d.W)
+	y.AddRowVector(d.B)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.in == nil {
+		panic("nn: Dense.Backward without a training Forward")
+	}
+	// dW = gradᵀ · x ; db = column sums of grad ; dx = grad · W.
+	d.GW.AddInPlace(tensor.MatMulTransA(grad, d.in))
+	d.GB.AddInPlace(grad.SumRows())
+	return tensor.MatMul(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() ([]*tensor.Tensor, []*tensor.Tensor) {
+	return []*tensor.Tensor{d.W, d.B}, []*tensor.Tensor{d.GW, d.GB}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.W.Dim(1), d.W.Dim(0)) }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if train {
+		if cap(r.mask) < y.Size() {
+			r.mask = make([]bool, y.Size())
+		}
+		r.mask = r.mask[:y.Size()]
+	}
+	for i, v := range y.Data() {
+		pos := v > 0
+		if !pos {
+			y.Data()[i] = 0
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data() {
+		if !r.mask[i] {
+			dx.Data()[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() ([]*tensor.Tensor, []*tensor.Tensor) { return nil, nil }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Tanh applies the hyperbolic tangent elementwise (used by the DDPG actor).
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Map(math.Tanh)
+	if train {
+		t.out = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	for i, g := range dx.Data() {
+		o := t.out.Data()[i]
+		dx.Data()[i] = g * (1 - o*o)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() ([]*tensor.Tensor, []*tensor.Tensor) { return nil, nil }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "Tanh" }
+
+// Flatten reshapes (N, ...) to (N, prod(...)).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = append(f.inShape[:0], x.Shape()...)
+	}
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() ([]*tensor.Tensor, []*tensor.Tensor) { return nil, nil }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+
+	"fedmigr/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay — the optimizer FedAvg-family schemes run on every client.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	vel map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr, vel: make(map[*tensor.Tensor]*tensor.Tensor)} }
+
+// NewSGDMomentum returns an SGD optimizer with momentum.
+func NewSGDMomentum(lr, momentum float64) *SGD {
+	s := NewSGD(lr)
+	s.Momentum = momentum
+	return s
+}
+
+// Step applies one update to the model's parameters from its accumulated
+// gradients, then clears the gradients.
+func (s *SGD) Step(m *Sequential) {
+	ps, gs := m.Params()
+	for i, p := range ps {
+		g := gs[i]
+		if g == nil {
+			continue // non-learnable parameter (e.g. BatchNorm statistics)
+		}
+		if s.WeightDecay != 0 {
+			g.AddScaledInPlace(p, s.WeightDecay)
+		}
+		if s.Momentum != 0 {
+			v, ok := s.vel[p]
+			if !ok {
+				v = tensor.New(p.Shape()...)
+				s.vel[p] = v
+			}
+			v.ScaleInPlace(s.Momentum).AddInPlace(g)
+			p.AddScaledInPlace(v, -s.LR)
+		} else {
+			p.AddScaledInPlace(g, -s.LR)
+		}
+		g.Zero()
+	}
+}
+
+// Adam is the Adam optimizer, used to train the DDPG actor and critic.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t  int
+	m1 map[*tensor.Tensor]*tensor.Tensor
+	m2 map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m1: make(map[*tensor.Tensor]*tensor.Tensor),
+		m2: make(map[*tensor.Tensor]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update from the model's accumulated gradients,
+// then clears the gradients.
+func (a *Adam) Step(m *Sequential) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	ps, gs := m.Params()
+	for i, p := range ps {
+		g := gs[i]
+		if g == nil {
+			continue // non-learnable parameter (e.g. BatchNorm statistics)
+		}
+		m1, ok := a.m1[p]
+		if !ok {
+			m1 = tensor.New(p.Shape()...)
+			a.m1[p] = m1
+			a.m2[p] = tensor.New(p.Shape()...)
+		}
+		m2 := a.m2[p]
+		pd, gd, m1d, m2d := p.Data(), g.Data(), m1.Data(), m2.Data()
+		for j, gv := range gd {
+			m1d[j] = a.Beta1*m1d[j] + (1-a.Beta1)*gv
+			m2d[j] = a.Beta2*m2d[j] + (1-a.Beta2)*gv*gv
+			mh := m1d[j] / c1
+			vh := m2d[j] / c2
+			pd[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		g.Zero()
+	}
+}
+
+// ClipGradNorm scales the model's accumulated gradients so their global L2
+// norm is at most maxNorm, and returns the pre-clip norm.
+func ClipGradNorm(m *Sequential, maxNorm float64) float64 {
+	_, gs := m.Params()
+	total := 0.0
+	for _, g := range gs {
+		if g == nil {
+			continue
+		}
+		n := g.Norm2()
+		total += n * n
+	}
+	total = math.Sqrt(total)
+	if total > maxNorm && total > 0 {
+		scale := maxNorm / total
+		for _, g := range gs {
+			if g != nil {
+				g.ScaleInPlace(scale)
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedmigr/internal/tensor"
+)
+
+func TestSoftmaxLayerForwardMatchesSoftmax(t *testing.T) {
+	g := tensor.NewRNG(1)
+	x := tensor.Randn(g, 1, 3, 5)
+	l := NewSoftmaxLayer()
+	y := l.Forward(x, false)
+	ref := Softmax(x)
+	for i := range y.Data() {
+		if y.Data()[i] != ref.Data()[i] {
+			t.Fatal("SoftmaxLayer disagrees with Softmax")
+		}
+	}
+}
+
+func TestSoftmaxLayerGradient(t *testing.T) {
+	// Check the Jacobian against finite differences through a scalar loss
+	// L = Σ c_i · softmax(x)_i with random coefficients c.
+	g := tensor.NewRNG(2)
+	x := tensor.Randn(g, 1, 2, 4)
+	c := tensor.Randn(g, 1, 2, 4)
+	l := NewSoftmaxLayer()
+
+	loss := func() float64 {
+		return l.Forward(x, false).Dot(c)
+	}
+	y := l.Forward(x, true)
+	_ = y
+	dx := l.Backward(c)
+	const h = 1e-6
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + h
+		lp := loss()
+		x.Data()[i] = orig - h
+		lm := loss()
+		x.Data()[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(dx.Data()[i]-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("dx[%d]=%v want %v", i, dx.Data()[i], want)
+		}
+	}
+}
+
+func TestSoftmaxLayerBackwardWithoutForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSoftmaxLayer().Backward(tensor.New(1, 2))
+}
+
+func TestSoftmaxLayerInActorStack(t *testing.T) {
+	// An actor-style stack must train end-to-end through the softmax.
+	g := tensor.NewRNG(3)
+	m := NewSequential(NewDense(g, 3, 8), NewReLU(), NewDense(g, 8, 3), NewSoftmaxLayer())
+	opt := NewAdam(0.01)
+	x := tensor.Randn(g, 1, 4, 3)
+	target := tensor.New(4, 3)
+	for i := 0; i < 4; i++ {
+		target.Set(1, i, i%3)
+	}
+	var first, last float64
+	for it := 0; it < 200; it++ {
+		m.ZeroGrad()
+		out := m.Forward(x, true)
+		loss, grad := MSE(out, target)
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+		m.Backward(grad)
+		opt.Step(m)
+	}
+	if last > first*0.5 {
+		t.Fatalf("softmax stack failed to train: %v → %v", first, last)
+	}
+}
+
+func TestSoftmaxLayerNameAndParams(t *testing.T) {
+	l := NewSoftmaxLayer()
+	if l.Name() != "Softmax" {
+		t.Fatal("bad name")
+	}
+	p, gr := l.Params()
+	if p != nil || gr != nil {
+		t.Fatal("softmax must be stateless")
+	}
+}
+
+func TestResidualShapeMismatchPanics(t *testing.T) {
+	g := tensor.NewRNG(4)
+	r := NewResidual(NewDense(g, 3, 4)) // changes width: must panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape-changing residual body")
+		}
+	}()
+	r.Forward(tensor.New(1, 3), false)
+}
+
+func TestNewMLPPanicsOnShortSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMLP(tensor.NewRNG(5), 3)
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	g := tensor.NewRNG(6)
+	m := NewMLP(g, 2, 2)
+	s := NewSGD(0.1)
+	s.WeightDecay = 0.5
+	before := m.ParamVector().Norm2()
+	// Zero gradients: the only force is decay.
+	m.ZeroGrad()
+	s.Step(m)
+	after := m.ParamVector().Norm2()
+	if after >= before {
+		t.Fatalf("weight decay did not shrink weights: %v → %v", before, after)
+	}
+}
+
+func TestSetParamVectorPanicsOnWrongSize(t *testing.T) {
+	g := tensor.NewRNG(7)
+	m := NewMLP(g, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SetParamVector(tensor.New(m.NumParams() + 1))
+}
+
+func TestCrossEntropyPanicsOnBadLabel(t *testing.T) {
+	logits := tensor.New(1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range label")
+		}
+	}()
+	CrossEntropy(logits, []int{3})
+}
+
+func TestConvZooGradFlowSmoke(t *testing.T) {
+	// End-to-end: one SGD step on each zoo model must change parameters
+	// and reduce nothing unexpectedly (no NaNs).
+	g := tensor.NewRNG(8)
+	spec := ModelSpec{Channels: 3, Height: 8, Width: 8, Classes: 10}
+	for name, m := range map[string]*Sequential{
+		"c10":  NewC10CNN(g, spec),
+		"c100": NewC100CNN(g, spec),
+		"res":  NewResLite(g, spec, 1),
+	} {
+		x := tensor.Randn(g, 1, 2, 3, 8, 8)
+		before := m.ParamVector()
+		opt := NewSGD(0.01)
+		m.ZeroGrad()
+		out := m.Forward(x, true)
+		loss, grad := CrossEntropy(out, []int{1, 2})
+		if math.IsNaN(loss) {
+			t.Fatalf("%s NaN loss", name)
+		}
+		m.Backward(grad)
+		opt.Step(m)
+		after := m.ParamVector()
+		changed := false
+		for i := range before.Data() {
+			if math.IsNaN(after.Data()[i]) {
+				t.Fatalf("%s NaN parameter", name)
+			}
+			if before.Data()[i] != after.Data()[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Fatalf("%s parameters did not change", name)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package nn
+
+import "fedmigr/internal/tensor"
+
+// The model zoo mirrors the three architectures the paper evaluates, at
+// reduced width so the full experiment suite trains on one CPU core (see
+// DESIGN.md §2 substitution 2). The relative parameter-count ordering
+// ResLite > C100-CNN > C10-CNN is preserved so traffic tables keep shape.
+
+// ModelSpec describes an input geometry a zoo model expects.
+type ModelSpec struct {
+	Channels, Height, Width int
+	Classes                 int
+}
+
+// NewC10CNN builds the paper's C10-CNN shape — two conv+pool stages, one
+// hidden dense layer, and a classifier head — for the given input spec.
+// With the paper's CIFAR-10 geometry this is McMahan et al.'s CNN; here it
+// runs on small synthetic images.
+func NewC10CNN(g *tensor.RNG, s ModelSpec) *Sequential {
+	h, w := s.Height, s.Width
+	c1 := NewConv2D(g, s.Channels, 8, 3, 3, 1, 1)
+	p1 := NewMaxPool2D(2, 2)
+	h, w = h/2, w/2
+	c2 := NewConv2D(g, 8, 16, 3, 3, 1, 1)
+	p2 := NewMaxPool2D(2, 2)
+	h, w = h/2, w/2
+	return NewSequential(
+		c1, NewReLU(), p1,
+		c2, NewReLU(), p2,
+		NewFlatten(),
+		NewDense(g, 16*h*w, 32), NewReLU(),
+		NewDense(g, 32, s.Classes),
+	)
+}
+
+// NewC100CNN builds the paper's C100-CNN shape: like C10-CNN but with two
+// hidden dense layers and a (typically 100-way) classifier head.
+func NewC100CNN(g *tensor.RNG, s ModelSpec) *Sequential {
+	h, w := s.Height, s.Width
+	c1 := NewConv2D(g, s.Channels, 8, 3, 3, 1, 1)
+	p1 := NewMaxPool2D(2, 2)
+	h, w = h/2, w/2
+	c2 := NewConv2D(g, 8, 16, 3, 3, 1, 1)
+	p2 := NewMaxPool2D(2, 2)
+	h, w = h/2, w/2
+	return NewSequential(
+		c1, NewReLU(), p1,
+		c2, NewReLU(), p2,
+		NewFlatten(),
+		NewDense(g, 16*h*w, 48), NewReLU(),
+		NewDense(g, 48, 48), NewReLU(),
+		NewDense(g, 48, s.Classes),
+	)
+}
+
+// NewResLite builds a small residual network standing in for ResNet-152:
+// a stem convolution, a stack of identity residual blocks, pooling, and a
+// classifier. It is the largest model in the zoo, as ResNet-152 is in the
+// paper.
+func NewResLite(g *tensor.RNG, s ModelSpec, blocks int) *Sequential {
+	if blocks <= 0 {
+		blocks = 2
+	}
+	h, w := s.Height, s.Width
+	layers := []Layer{
+		NewConv2D(g, s.Channels, 16, 3, 3, 1, 1), NewReLU(),
+	}
+	for i := 0; i < blocks; i++ {
+		layers = append(layers, NewResidual(
+			NewConv2D(g, 16, 16, 3, 3, 1, 1), NewReLU(),
+			NewConv2D(g, 16, 16, 3, 3, 1, 1),
+		), NewReLU())
+	}
+	layers = append(layers,
+		NewMaxPool2D(2, 2),
+	)
+	h, w = h/2, w/2
+	layers = append(layers,
+		NewFlatten(),
+		NewDense(g, 16*h*w, 64), NewReLU(),
+		NewDense(g, 64, s.Classes),
+	)
+	return NewSequential(layers...)
+}
+
+// NewAlexLite builds a scaled-down AlexNet shape — 5 convolution layers
+// with max-pooling after the 1st, 2nd and 5th, then 3 fully connected
+// layers — the architecture the paper's Fig. 3 motivation experiment
+// trains. Input spatial size must be divisible by 4.
+func NewAlexLite(g *tensor.RNG, s ModelSpec) *Sequential {
+	h, w := s.Height, s.Width
+	layers := []Layer{
+		NewConv2D(g, s.Channels, 8, 3, 3, 1, 1), NewReLU(),
+		NewMaxPool2D(2, 2),
+	}
+	h, w = h/2, w/2
+	layers = append(layers,
+		NewConv2D(g, 8, 12, 3, 3, 1, 1), NewReLU(),
+		NewMaxPool2D(2, 2),
+	)
+	h, w = h/2, w/2
+	layers = append(layers,
+		NewConv2D(g, 12, 16, 3, 3, 1, 1), NewReLU(),
+		NewConv2D(g, 16, 16, 3, 3, 1, 1), NewReLU(),
+		NewConv2D(g, 16, 12, 3, 3, 1, 1), NewReLU(),
+	)
+	layers = append(layers,
+		NewFlatten(),
+		NewDense(g, 12*h*w, 48), NewReLU(),
+		NewDense(g, 48, 32), NewReLU(),
+		NewDense(g, 32, s.Classes),
+	)
+	return NewSequential(layers...)
+}
+
+// NewMLP builds a plain multi-layer perceptron with ReLU activations for
+// the given layer sizes, e.g. NewMLP(g, 10, 64, 64, 4). The DDPG actor and
+// critic are MLPs.
+func NewMLP(g *tensor.RNG, sizes ...int) *Sequential {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	var layers []Layer
+	for i := 0; i < len(sizes)-1; i++ {
+		layers = append(layers, NewDense(g, sizes[i], sizes[i+1]))
+		if i < len(sizes)-2 {
+			layers = append(layers, NewReLU())
+		}
+	}
+	return NewSequential(layers...)
+}
+
+// CloneArch builds a structurally identical, freshly initialized copy of a
+// factory-made model and copies src's parameters into it. factory must
+// produce the same architecture deterministically.
+func CloneArch(src *Sequential, factory func() *Sequential) *Sequential {
+	dst := factory()
+	dst.CopyParamsFrom(src)
+	return dst
+}

@@ -1,0 +1,90 @@
+// Package privacy implements the (ε, δ)-local differential privacy
+// mechanism of Sec. III-E2: L2 clipping of the local model parameters
+// (Eq. 30) followed by Gaussian noise (Eq. 31) before a model leaves the
+// client, either toward a migration peer or toward the server.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"fedmigr/internal/nn"
+	"fedmigr/internal/tensor"
+)
+
+// Mechanism holds the LDP configuration applied to outgoing models.
+type Mechanism struct {
+	// Epsilon is the privacy budget ε; +Inf disables the mechanism.
+	Epsilon float64
+	// Delta is the failure probability δ of plain ε-DP.
+	Delta float64
+	// Clip is the L2 clipping threshold C of Eq. (30).
+	Clip float64
+
+	rng *tensor.RNG
+}
+
+// NewMechanism returns a mechanism with the given budget. Use
+// math.Inf(1) as epsilon for a no-op mechanism.
+func NewMechanism(epsilon, delta, clip float64, seed int64) (*Mechanism, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("privacy: epsilon must be positive, got %v", epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("privacy: delta must be in (0,1), got %v", delta)
+	}
+	if clip <= 0 {
+		return nil, fmt.Errorf("privacy: clip threshold must be positive, got %v", clip)
+	}
+	return &Mechanism{Epsilon: epsilon, Delta: delta, Clip: clip, rng: tensor.NewRNG(seed)}, nil
+}
+
+// Enabled reports whether the mechanism perturbs models at all.
+func (m *Mechanism) Enabled() bool { return m != nil && !math.IsInf(m.Epsilon, 1) }
+
+// Sigma returns the Gaussian noise scale χ calibrated by the analytic
+// Gaussian-mechanism bound χ ≥ C·√(2·ln(1.25/δ))/ε. It grows as the
+// privacy budget shrinks, matching the paper's observation that smaller ε
+// costs accuracy.
+func (m *Mechanism) Sigma() float64 {
+	if !m.Enabled() {
+		return 0
+	}
+	return m.Clip * math.Sqrt(2*math.Log(1.25/m.Delta)) / m.Epsilon
+}
+
+// ClipVector scales v in place so ‖v‖₂ ≤ C (Eq. 30) and returns the
+// pre-clip norm.
+func (m *Mechanism) ClipVector(v *tensor.Tensor) float64 {
+	norm := v.Norm2()
+	if norm > m.Clip && norm > 0 {
+		v.ScaleInPlace(m.Clip / norm)
+	}
+	return norm
+}
+
+// AddNoise adds i.i.d. N(0, χ²) noise to v in place (Eq. 31).
+func (m *Mechanism) AddNoise(v *tensor.Tensor) {
+	if !m.Enabled() {
+		return
+	}
+	sigma := m.Sigma()
+	d := v.Data()
+	for i := range d {
+		d[i] += m.rng.NormFloat64() * sigma
+	}
+}
+
+// Sanitize applies the full clip-then-noise pipeline to a model's
+// parameters in place, returning the pre-clip parameter norm. It is the
+// hook the FL trainer calls on every outgoing model when LDP is enabled.
+func (m *Mechanism) Sanitize(model *nn.Sequential) float64 {
+	if !m.Enabled() {
+		return 0
+	}
+	v := model.ParamVector()
+	norm := m.ClipVector(v)
+	m.AddNoise(v)
+	model.SetParamVector(v)
+	return norm
+}

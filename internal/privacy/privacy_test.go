@@ -1,0 +1,162 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedmigr/internal/nn"
+	"fedmigr/internal/tensor"
+)
+
+func TestNewMechanismValidation(t *testing.T) {
+	cases := []struct{ eps, delta, clip float64 }{
+		{0, 1e-5, 1},
+		{-1, 1e-5, 1},
+		{1, 0, 1},
+		{1, 1, 1},
+		{1, 1e-5, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewMechanism(c.eps, c.delta, c.clip, 1); err == nil {
+			t.Fatalf("expected error for %+v", c)
+		}
+	}
+	if _, err := NewMechanism(100, 1e-5, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	m, _ := NewMechanism(math.Inf(1), 1e-5, 5, 1)
+	if m.Enabled() {
+		t.Fatal("infinite epsilon must disable the mechanism")
+	}
+	var nilM *Mechanism
+	if nilM.Enabled() {
+		t.Fatal("nil mechanism must be disabled")
+	}
+	m2, _ := NewMechanism(10, 1e-5, 5, 1)
+	if !m2.Enabled() {
+		t.Fatal("finite epsilon must enable")
+	}
+}
+
+func TestSigmaGrowsAsEpsilonShrinks(t *testing.T) {
+	m150, _ := NewMechanism(150, 1e-5, 5, 1)
+	m100, _ := NewMechanism(100, 1e-5, 5, 1)
+	if !(m100.Sigma() > m150.Sigma()) {
+		t.Fatalf("sigma(100)=%v must exceed sigma(150)=%v", m100.Sigma(), m150.Sigma())
+	}
+	mInf, _ := NewMechanism(math.Inf(1), 1e-5, 5, 1)
+	if mInf.Sigma() != 0 {
+		t.Fatal("disabled mechanism must have zero sigma")
+	}
+}
+
+// Property (Eq. 30): after clipping, ‖v‖ ≤ C, and vectors inside the ball
+// are untouched.
+func TestClipVectorProperty(t *testing.T) {
+	m, _ := NewMechanism(10, 1e-5, 2, 1)
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		v := tensor.Randn(g, 1+4*g.Float64(), 16)
+		orig := v.Clone()
+		pre := m.ClipVector(v)
+		if math.Abs(pre-orig.Norm2()) > 1e-9 {
+			return false
+		}
+		if v.Norm2() > m.Clip+1e-9 {
+			return false
+		}
+		if pre <= m.Clip {
+			for i := range v.Data() {
+				if v.Data()[i] != orig.Data()[i] {
+					return false
+				}
+			}
+		} else {
+			// Direction preserved.
+			dot := v.Dot(orig)
+			if dot < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNoiseStatistics(t *testing.T) {
+	m, _ := NewMechanism(50, 1e-5, 5, 7)
+	v := tensor.New(20000)
+	m.AddNoise(v)
+	var mean, s2 float64
+	for _, x := range v.Data() {
+		mean += x
+	}
+	mean /= float64(v.Size())
+	for _, x := range v.Data() {
+		s2 += (x - mean) * (x - mean)
+	}
+	std := math.Sqrt(s2 / float64(v.Size()))
+	if math.Abs(mean) > 0.01*m.Sigma()*10 {
+		t.Fatalf("noise mean %v too far from 0 (sigma %v)", mean, m.Sigma())
+	}
+	if math.Abs(std-m.Sigma()) > 0.05*m.Sigma() {
+		t.Fatalf("noise std %v, want ≈%v", std, m.Sigma())
+	}
+}
+
+func TestSanitizeNoOpWhenDisabled(t *testing.T) {
+	g := tensor.NewRNG(1)
+	model := nn.NewMLP(g, 3, 4, 2)
+	before := model.ParamVector()
+	m, _ := NewMechanism(math.Inf(1), 1e-5, 1, 1)
+	m.Sanitize(model)
+	after := model.ParamVector()
+	for i := range before.Data() {
+		if before.Data()[i] != after.Data()[i] {
+			t.Fatal("disabled mechanism must not modify the model")
+		}
+	}
+}
+
+func TestSanitizePerturbsModel(t *testing.T) {
+	g := tensor.NewRNG(2)
+	model := nn.NewMLP(g, 3, 4, 2)
+	before := model.ParamVector()
+	m, _ := NewMechanism(50, 1e-5, 1, 3)
+	pre := m.Sanitize(model)
+	if pre <= 0 {
+		t.Fatal("expected positive pre-clip norm")
+	}
+	after := model.ParamVector()
+	changed := false
+	for i := range before.Data() {
+		if before.Data()[i] != after.Data()[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("enabled mechanism must perturb the model")
+	}
+}
+
+func TestSanitizeDeterministicSeed(t *testing.T) {
+	build := func() *nn.Sequential { return nn.NewMLP(tensor.NewRNG(5), 3, 4, 2) }
+	m1, _ := NewMechanism(80, 1e-5, 1, 9)
+	m2, _ := NewMechanism(80, 1e-5, 1, 9)
+	a, b := build(), build()
+	m1.Sanitize(a)
+	m2.Sanitize(b)
+	va, vb := a.ParamVector(), b.ParamVector()
+	for i := range va.Data() {
+		if va.Data()[i] != vb.Data()[i] {
+			t.Fatal("same seed must give identical sanitization")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package stats provides the distributional and summary statistics used
+// throughout the reproduction: label-distribution divergences (the EMD of
+// Zhao et al. that the paper's convergence analysis is built on), running
+// summaries, and small helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution is a discrete probability distribution over class labels.
+type Distribution []float64
+
+// NewDistribution normalizes counts into a probability distribution.
+// All-zero counts yield the uniform distribution.
+func NewDistribution(counts []float64) Distribution {
+	d := make(Distribution, len(counts))
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		for i := range d {
+			d[i] = 1 / float64(len(d))
+		}
+		return d
+	}
+	for i, c := range counts {
+		d[i] = c / total
+	}
+	return d
+}
+
+// FromLabels builds a distribution over `classes` labels from samples.
+func FromLabels(labels []int, classes int) Distribution {
+	counts := make([]float64, classes)
+	for _, y := range labels {
+		if y >= 0 && y < classes {
+			counts[y]++
+		}
+	}
+	return NewDistribution(counts)
+}
+
+// Validate reports an error if d is not a probability distribution.
+func (d Distribution) Validate() error {
+	s := 0.0
+	for i, p := range d {
+		if p < -1e-12 || math.IsNaN(p) {
+			return fmt.Errorf("stats: probability %v at index %d", p, i)
+		}
+		s += p
+	}
+	if math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("stats: distribution sums to %v", s)
+	}
+	return nil
+}
+
+// EMD returns the earth mover's distance between label distributions in the
+// sense used by Zhao et al. and Eq. (11) of the paper:
+// Σ_l |p(l) − q(l)| (total variation ×2, the quantity the convergence
+// analysis bounds weight divergence with).
+func EMD(p, q Distribution) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("stats: EMD dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	s := 0.0
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s
+}
+
+// Mix returns the effective distribution of Eq. (13): a client with n_k
+// samples distributed as p, after M random migrations over a population of
+// N samples distributed as q with K clients, behaves as if trained on
+//
+//	q'_k(l) = (K·n_k·p(l) + M·N·q(l)) / (K·n_k + M·N).
+func Mix(p Distribution, nk float64, q Distribution, total float64, k, m int) Distribution {
+	if len(p) != len(q) {
+		panic("stats: Mix dimension mismatch")
+	}
+	out := make(Distribution, len(p))
+	kk, mm := float64(k), float64(m)
+	den := kk*nk + mm*total
+	for i := range p {
+		out[i] = (kk*nk*p[i] + mm*total*q[i]) / den
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy of d in nats.
+func Entropy(d Distribution) float64 {
+	h := 0.0
+	for _, p := range d {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// PairwiseEMD returns the K×K symmetric matrix D of EMDs between client
+// label distributions — the D_t component of the DRL state (Sec. III-C).
+func PairwiseEMD(dists []Distribution) [][]float64 {
+	k := len(dists)
+	d := make([][]float64, k)
+	for i := range d {
+		d[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v := EMD(dists[i], dists[j])
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d
+}
+
+// Summary holds streaming summary statistics.
+type Summary struct {
+	N              int
+	Sum, SumSq     float64
+	MinV, MaxV     float64
+	hasObservation bool
+}
+
+// Add records an observation.
+func (s *Summary) Add(v float64) {
+	if !s.hasObservation || v < s.MinV {
+		s.MinV = v
+	}
+	if !s.hasObservation || v > s.MaxV {
+		s.MaxV = v
+	}
+	s.hasObservation = true
+	s.N++
+	s.Sum += v
+	s.SumSq += v * v
+}
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Std returns the population standard deviation (0 when empty).
+func (s *Summary) Std() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.SumSq/float64(s.N) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.MinV }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.MaxV }
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	Alpha float64
+	v     float64
+	init  bool
+}
+
+// Add folds in an observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.v, e.init = x, true
+	} else {
+		e.v = e.Alpha*x + (1-e.Alpha)*e.v
+	}
+	return e.v
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// ArgMaxF returns the index of the maximum value in xs (-1 when empty).
+func ArgMaxF(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	bi := 0
+	for i, v := range xs {
+		if v > xs[bi] {
+			bi = i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedmigr/internal/tensor"
+)
+
+func randDist(g *tensor.RNG, n int) Distribution {
+	counts := make([]float64, n)
+	for i := range counts {
+		counts[i] = g.Float64() + 1e-6
+	}
+	return NewDistribution(counts)
+}
+
+func TestNewDistributionNormalizes(t *testing.T) {
+	d := NewDistribution([]float64{1, 3})
+	if d[0] != 0.25 || d[1] != 0.75 {
+		t.Fatalf("got %v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDistributionZeroCountsUniform(t *testing.T) {
+	d := NewDistribution([]float64{0, 0, 0, 0})
+	for _, p := range d {
+		if p != 0.25 {
+			t.Fatalf("got %v", d)
+		}
+	}
+}
+
+func TestFromLabels(t *testing.T) {
+	d := FromLabels([]int{0, 0, 1, 2}, 3)
+	if d[0] != 0.5 || d[1] != 0.25 || d[2] != 0.25 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestValidateCatchesBadDistributions(t *testing.T) {
+	if err := (Distribution{0.5, 0.6}).Validate(); err == nil {
+		t.Fatal("sum > 1 should fail")
+	}
+	if err := (Distribution{-0.1, 1.1}).Validate(); err == nil {
+		t.Fatal("negative probability should fail")
+	}
+}
+
+// EMD axioms: non-negativity, identity, symmetry, triangle inequality.
+func TestEMDAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		p, q, r := randDist(g, 5), randDist(g, 5), randDist(g, 5)
+		if EMD(p, p) != 0 {
+			return false
+		}
+		if EMD(p, q) < 0 {
+			return false
+		}
+		if math.Abs(EMD(p, q)-EMD(q, p)) > 1e-12 {
+			return false
+		}
+		return EMD(p, r) <= EMD(p, q)+EMD(q, r)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMDMaxIsTwo(t *testing.T) {
+	p := Distribution{1, 0}
+	q := Distribution{0, 1}
+	if EMD(p, q) != 2 {
+		t.Fatalf("disjoint EMD=%v, want 2", EMD(p, q))
+	}
+}
+
+// Property (paper Eqs. 13–15): migration mixing strictly shrinks the
+// distance to the population distribution for any non-IID client, any
+// M ≥ 1, K ≥ 1.
+func TestMixShrinksEMD(t *testing.T) {
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		l := 2 + g.Intn(8)
+		pop := randDist(g, l)
+		client := randDist(g, l)
+		nk := 10 + g.Float64()*100
+		total := nk * float64(2+g.Intn(20))
+		k := 2 + g.Intn(30)
+		m := 1 + g.Intn(50)
+		before := EMD(client, pop)
+		after := EMD(Mix(client, nk, pop, total, k, m), pop)
+		if before < 1e-9 {
+			return after < 1e-9 // IID stays IID
+		}
+		return after < before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more migrations shrink the distance monotonically (Eq. 14's
+// denominator grows with M).
+func TestMixMonotoneInM(t *testing.T) {
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		pop := randDist(g, 6)
+		client := randDist(g, 6)
+		nk, total, k := 50.0, 500.0, 10
+		prev := EMD(client, pop)
+		for m := 1; m <= 5; m++ {
+			cur := EMD(Mix(client, nk, pop, total, k, m), pop)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixIsValidDistribution(t *testing.T) {
+	g := tensor.NewRNG(4)
+	p, q := randDist(g, 7), randDist(g, 7)
+	m := Mix(p, 30, q, 300, 10, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy(Distribution{1, 0}) != 0 {
+		t.Fatal("point mass entropy must be 0")
+	}
+	u := Entropy(Distribution{0.25, 0.25, 0.25, 0.25})
+	if math.Abs(u-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform entropy %v, want ln4", u)
+	}
+}
+
+func TestPairwiseEMD(t *testing.T) {
+	d := PairwiseEMD([]Distribution{{1, 0}, {0, 1}, {0.5, 0.5}})
+	if d[0][0] != 0 || d[0][1] != 2 || d[1][0] != 2 {
+		t.Fatalf("got %v", d)
+	}
+	if math.Abs(d[0][2]-1) > 1e-12 || d[0][2] != d[2][0] {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 || s.N != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Fatalf("std %v want %v", s.Std(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first value %v", e.Value())
+	}
+	e.Add(0)
+	if e.Value() != 5 {
+		t.Fatalf("second value %v", e.Value())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(xs, 50) != 2.5 {
+		t.Fatalf("median %v", Percentile(xs, 50))
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestArgMaxF(t *testing.T) {
+	if ArgMaxF(nil) != -1 {
+		t.Fatal("empty should be -1")
+	}
+	if ArgMaxF([]float64{1, 5, 2}) != 1 {
+		t.Fatal("wrong argmax")
+	}
+}

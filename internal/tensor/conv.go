@@ -1,0 +1,186 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution or pooling geometry.
+type ConvParams struct {
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (p ConvParams) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*p.PadH-p.KernelH)/p.StrideH + 1
+	ow = (w+2*p.PadW-p.KernelW)/p.StrideW + 1
+	return oh, ow
+}
+
+func (p ConvParams) validate() {
+	if p.KernelH <= 0 || p.KernelW <= 0 || p.StrideH <= 0 || p.StrideW <= 0 || p.PadH < 0 || p.PadW < 0 {
+		panic(fmt.Sprintf("tensor: invalid conv params %+v", p))
+	}
+}
+
+// Im2Col unrolls an input of shape (N, C, H, W) into a matrix of shape
+// (N*OH*OW, C*KH*KW) so convolution reduces to a matrix multiply.
+func Im2Col(x *Tensor, p ConvParams) *Tensor {
+	p.validate()
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires NCHW input, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col output size %dx%d for input %v params %+v", oh, ow, x.shape, p))
+	}
+	cols := New(n*oh*ow, c*p.KernelH*p.KernelW)
+	colW := c * p.KernelH * p.KernelW
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				rowOff := ((ni*oh+oy)*ow + ox) * colW
+				col := 0
+				for ci := 0; ci < c; ci++ {
+					base := (ni*c + ci) * h * w
+					for ky := 0; ky < p.KernelH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						for kx := 0; kx < p.KernelW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								cols.data[rowOff+col] = x.data[base+iy*w+ix]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (N*OH*OW, C*KH*KW) matrix
+// of column gradients back onto an (N, C, H, W) input-gradient tensor,
+// accumulating where patches overlap.
+func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
+	p.validate()
+	oh, ow := p.OutSize(h, w)
+	colW := c * p.KernelH * p.KernelW
+	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != colW {
+		panic(fmt.Sprintf("tensor: Col2Im shape mismatch %v for output %dx%dx%dx%d", cols.shape, n, c, h, w))
+	}
+	x := New(n, c, h, w)
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				rowOff := ((ni*oh+oy)*ow + ox) * colW
+				col := 0
+				for ci := 0; ci < c; ci++ {
+					base := (ni*c + ci) * h * w
+					for ky := 0; ky < p.KernelH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						for kx := 0; kx < p.KernelW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.data[base+iy*w+ix] += cols.data[rowOff+col]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// Conv2D computes a 2-D convolution of x (N, C, H, W) with kernels
+// k (F, C, KH, KW) and per-filter bias b (F), returning (N, F, OH, OW).
+// Pass a nil bias to skip the bias addition.
+func Conv2D(x, k, b *Tensor, p ConvParams) *Tensor {
+	if k.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D kernel must be FCHW, got %v", k.shape))
+	}
+	f, c := k.shape[0], k.shape[1]
+	if x.shape[1] != c || k.shape[2] != p.KernelH || k.shape[3] != p.KernelW {
+		panic(fmt.Sprintf("tensor: Conv2D input %v incompatible with kernel %v params %+v", x.shape, k.shape, p))
+	}
+	n, h, w := x.shape[0], x.shape[2], x.shape[3]
+	oh, ow := p.OutSize(h, w)
+	cols := Im2Col(x, p)                        // (N*OH*OW, C*KH*KW)
+	kmat := k.Reshape(f, c*p.KernelH*p.KernelW) // (F, C*KH*KW)
+	out := MatMulTransB(cols, kmat)             // (N*OH*OW, F)
+	res := New(n, f, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := ((ni*oh+oy)*ow + ox) * f
+				for fi := 0; fi < f; fi++ {
+					v := out.data[row+fi]
+					if b != nil {
+						v += b.data[fi]
+					}
+					res.data[((ni*f+fi)*oh+oy)*ow+ox] = v
+				}
+			}
+		}
+	}
+	return res
+}
+
+// MaxPool2D applies max pooling to x (N, C, H, W) and returns the pooled
+// output (N, C, OH, OW) together with the flat argmax index of each pooled
+// cell (into x's data), which the backward pass uses to route gradients.
+func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int) {
+	p.validate()
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: MaxPool2D requires NCHW input, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutSize(h, w)
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Size())
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best, bi := 0.0, -1
+					for ky := 0; ky < p.KernelH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KernelW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := x.data[base+iy*w+ix]
+							if bi < 0 || v > best {
+								best, bi = v, base+iy*w+ix
+							}
+						}
+					}
+					oi := ((ni*c+ci)*oh+oy)*ow + ox
+					out.data[oi] = best
+					arg[oi] = bi
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward scatters the pooled-output gradient g back to an
+// input-shaped gradient using the argmax indices from MaxPool2D.
+func MaxPool2DBackward(g *Tensor, arg []int, inShape []int) *Tensor {
+	dx := New(inShape...)
+	for i, a := range arg {
+		if a >= 0 {
+			dx.data[a] += g.data[i]
+		}
+	}
+	return dx
+}

@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvParamsOutSize(t *testing.T) {
+	p := ConvParams{KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	oh, ow := p.OutSize(32, 32)
+	if oh != 32 || ow != 32 {
+		t.Fatalf("same-padding 5x5 on 32x32 gave %dx%d", oh, ow)
+	}
+	p2 := ConvParams{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}
+	oh, ow = p2.OutSize(8, 8)
+	if oh != 4 || ow != 4 {
+		t.Fatalf("2x2/s2 pooling on 8x8 gave %dx%d", oh, ow)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1: Im2Col should reproduce the input, one pixel per row.
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	p := ConvParams{KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1}
+	cols := Im2Col(x, p)
+	if cols.Dim(0) != 4 || cols.Dim(1) != 1 {
+		t.Fatalf("cols shape %v", cols.Shape())
+	}
+	for i, w := range []float64{1, 2, 3, 4} {
+		if cols.At(i, 0) != w {
+			t.Fatalf("cols[%d]=%v want %v", i, cols.At(i, 0), w)
+		}
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// Input 1x1x3x3 = 1..9, kernel 1x1x2x2 of ones, no pad, stride 1.
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1, 3, 3)
+	k := FromSlice([]float64{1, 1, 1, 1}, 1, 1, 2, 2)
+	p := ConvParams{KernelH: 2, KernelW: 2, StrideH: 1, StrideW: 1}
+	y := Conv2D(x, k, nil, p)
+	want := []float64{12, 16, 24, 28} // window sums
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("conv[%d]=%v want %v", i, y.Data()[i], w)
+		}
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	k := FromSlice([]float64{1}, 1, 1, 1, 1)
+	b := FromSlice([]float64{10}, 1)
+	p := ConvParams{KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1}
+	y := Conv2D(x, k, b, p)
+	if y.Data()[0] != 11 || y.Data()[3] != 14 {
+		t.Fatalf("bias not applied: %v", y.Data())
+	}
+}
+
+func TestConv2DPaddingZeros(t *testing.T) {
+	// With pad 1 and a 3x3 ones kernel on a 1x1 input, result = single input value.
+	x := FromSlice([]float64{5}, 1, 1, 1, 1)
+	k := Ones(1, 1, 3, 3)
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	y := Conv2D(x, k, nil, p)
+	if y.Size() != 1 || y.Data()[0] != 5 {
+		t.Fatalf("padded conv got %v", y.Data())
+	}
+}
+
+func TestConv2DMultiChannelMultiFilter(t *testing.T) {
+	g := NewRNG(11)
+	x := Randn(g, 1, 2, 3, 4, 4)
+	k := Randn(g, 1, 5, 3, 3, 3)
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	y := Conv2D(x, k, nil, p)
+	sh := y.Shape()
+	if sh[0] != 2 || sh[1] != 5 || sh[2] != 4 || sh[3] != 4 {
+		t.Fatalf("conv output shape %v", sh)
+	}
+	// Cross-check one output element against a direct loop.
+	ni, fi, oy, ox := 1, 2, 1, 3
+	direct := 0.0
+	for ci := 0; ci < 3; ci++ {
+		for ky := 0; ky < 3; ky++ {
+			for kx := 0; kx < 3; kx++ {
+				iy, ix := oy-1+ky, ox-1+kx
+				if iy < 0 || iy >= 4 || ix < 0 || ix >= 4 {
+					continue
+				}
+				direct += x.At(ni, ci, iy, ix) * k.At(fi, ci, ky, kx)
+			}
+		}
+	}
+	if math.Abs(direct-y.At(ni, fi, oy, ox)) > 1e-10 {
+		t.Fatalf("conv disagrees with direct: %v vs %v", y.At(ni, fi, oy, ox), direct)
+	}
+}
+
+func TestCol2ImAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), C> == <x, Col2Im(C)> — the defining adjoint property used
+	// by the convolution backward pass.
+	g := NewRNG(13)
+	x := Randn(g, 1, 2, 2, 5, 5)
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	cols := Im2Col(x, p)
+	c := Randn(g, 1, cols.Dim(0), cols.Dim(1))
+	lhs := cols.Dot(c)
+	back := Col2Im(c, 2, 2, 5, 5, p)
+	rhs := x.Dot(back)
+	if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestMaxPool2DValuesAndIndices(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	p := ConvParams{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}
+	y, arg := MaxPool2D(x, p)
+	want := []float64{6, 8, 14, 16}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("pool[%d]=%v want %v", i, y.Data()[i], w)
+		}
+	}
+	// Gradient routing: each pooled cell's grad lands on its argmax.
+	g := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := MaxPool2DBackward(g, arg, x.Shape())
+	if dx.At(0, 0, 1, 1) != 1 || dx.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("pool backward misrouted: %v", dx.Data())
+	}
+	if dx.Sum() != 10 {
+		t.Fatalf("pool backward must conserve gradient mass, sum=%v", dx.Sum())
+	}
+}
+
+func TestMaxPool2DOverlapping(t *testing.T) {
+	// 3x3 window stride 2 like AlexNet-style pooling: check output size.
+	x := New(1, 1, 7, 7)
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2}
+	y, _ := MaxPool2D(x, p)
+	if y.Dim(2) != 3 || y.Dim(3) != 3 {
+		t.Fatalf("overlapping pool shape %v", y.Shape())
+	}
+}
+
+func TestIm2ColPanicsOnBadRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-NCHW input")
+		}
+	}()
+	Im2Col(New(3, 3), ConvParams{KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1})
+}
+
+func TestConvParamsValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero stride")
+		}
+	}()
+	Im2Col(New(1, 1, 2, 2), ConvParams{KernelH: 1, KernelW: 1})
+}

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		m, k, n := 1+g.Intn(5), 1+g.Intn(5), 1+g.Intn(5)
+		a := Randn(g, 1, m, k)
+		b := Randn(g, 1, k, n)
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		for i := range lhs.Data() {
+			if math.Abs(lhs.Data()[i]-rhs.Data()[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reshape preserves the element sum (it's a view).
+func TestReshapePreservesSum(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		a := Randn(g, 1, 2, 3, 4)
+		return math.Abs(a.Sum()-a.Reshape(4, 6).Sum()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identity matrix is a left and right unit for MatMul.
+func TestMatMulIdentityUnit(t *testing.T) {
+	eye := func(n int) *Tensor {
+		e := New(n, n)
+		for i := 0; i < n; i++ {
+			e.Set(1, i, i)
+		}
+		return e
+	}
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		n := 1 + g.Intn(6)
+		a := Randn(g, 1, n, n)
+		l := MatMul(eye(n), a)
+		r := MatMul(a, eye(n))
+		for i := range a.Data() {
+			if math.Abs(l.Data()[i]-a.Data()[i]) > 1e-12 || math.Abs(r.Data()[i]-a.Data()[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddInPlace then SubInPlace restores the original tensor.
+func TestAddSubInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		a := Randn(g, 1, 3, 5)
+		b := Randn(g, 1, 3, 5)
+		orig := a.Clone()
+		a.AddInPlace(b).SubInPlace(b)
+		for i := range a.Data() {
+			if math.Abs(a.Data()[i]-orig.Data()[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conv with a centered delta kernel is the identity.
+func TestConvDeltaKernelIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		x := Randn(g, 1, 1, 1, 5, 5)
+		k := New(1, 1, 3, 3)
+		k.Set(1, 0, 0, 1, 1)
+		p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		y := Conv2D(x, k, nil, p)
+		for i := range x.Data() {
+			if math.Abs(x.Data()[i]-y.Data()[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxPool output dominates AvgPool-equivalent sums elementwise:
+// pooled max ≥ window mean.
+func TestMaxPoolDominatesMean(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		x := Randn(g, 1, 1, 1, 4, 4)
+		p := ConvParams{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}
+		mx, _ := MaxPool2D(x, p)
+		// window means
+		for oy := 0; oy < 2; oy++ {
+			for ox := 0; ox < 2; ox++ {
+				sum := 0.0
+				for ky := 0; ky < 2; ky++ {
+					for kx := 0; kx < 2; kx++ {
+						sum += x.At(0, 0, oy*2+ky, ox*2+kx)
+					}
+				}
+				if mx.At(0, 0, oy, ox) < sum/4-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

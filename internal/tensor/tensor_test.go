@@ -1,0 +1,329 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 || x.Size() != 24 {
+		t.Fatalf("got rank=%d size=%d, want 3, 24", x.Rank(), x.Size())
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad dims %v", x.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceAndAtSet(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.At(1, 2) != 6 {
+		t.Fatalf("At(1,2)=%v, want 6", x.At(1, 2))
+	}
+	x.Set(9, 0, 1)
+	if x.At(0, 1) != 9 {
+		t.Fatalf("Set failed, got %v", x.At(0, 1))
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape/data mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	_ = x.At(2, 0)
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Set(7, 0)
+	if x.At(0, 0) != 7 {
+		t.Fatal("Reshape must share storage")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	x := New(2, 3, 4)
+	y := x.Reshape(2, -1)
+	if y.Dim(1) != 12 {
+		t.Fatalf("inferred dim=%d, want 12", y.Dim(1))
+	}
+}
+
+func TestReshapePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incompatible reshape")
+		}
+	}()
+	New(2, 3).Reshape(4)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := a.Add(b).Data(); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add got %v", got)
+	}
+	if got := b.Sub(a).Data(); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub got %v", got)
+	}
+	if got := a.Mul(b).Data(); got[1] != 10 {
+		t.Fatalf("Mul got %v", got)
+	}
+	if got := a.Scale(2).Data(); got[2] != 6 {
+		t.Fatalf("Scale got %v", got)
+	}
+	c := a.Clone()
+	c.AddScaledInPlace(b, 0.5)
+	if c.At(0) != 3 {
+		t.Fatalf("AddScaled got %v", c.Data())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-1, 4, 2, 3}, 4)
+	if x.Sum() != 8 {
+		t.Fatalf("Sum=%v", x.Sum())
+	}
+	if x.Mean() != 2 {
+		t.Fatalf("Mean=%v", x.Mean())
+	}
+	if x.Max() != 4 || x.Min() != -1 {
+		t.Fatalf("Max/Min=%v/%v", x.Max(), x.Min())
+	}
+	if x.ArgMax() != 1 {
+		t.Fatalf("ArgMax=%d", x.ArgMax())
+	}
+	if !almostEq(x.Norm2(), math.Sqrt(1+16+4+9), 1e-12) {
+		t.Fatalf("Norm2=%v", x.Norm2())
+	}
+	if x.Dot(x) != 30 {
+		t.Fatalf("Dot=%v", x.Dot(x))
+	}
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("MatMul[%d]=%v want %v", i, c.Data()[i], w)
+		}
+	}
+}
+
+func TestMatMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner-dim mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTransVariantsAgree(t *testing.T) {
+	g := NewRNG(1)
+	a := Randn(g, 1, 4, 5)
+	b := Randn(g, 1, 5, 3)
+	ref := MatMul(a, b)
+	viaTB := MatMulTransB(a, b.Transpose())
+	viaTA := MatMulTransA(a.Transpose(), b)
+	for i := range ref.Data() {
+		if !almostEq(ref.Data()[i], viaTB.Data()[i], 1e-10) {
+			t.Fatalf("MatMulTransB disagrees at %d: %v vs %v", i, ref.Data()[i], viaTB.Data()[i])
+		}
+		if !almostEq(ref.Data()[i], viaTA.Data()[i], 1e-10) {
+			t.Fatalf("MatMulTransA disagrees at %d: %v vs %v", i, ref.Data()[i], viaTA.Data()[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := NewRNG(2)
+	a := Randn(g, 1, 3, 7)
+	b := a.Transpose().Transpose()
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("transpose twice must be identity")
+		}
+	}
+}
+
+func TestRowViewSharesStorage(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	r := a.Row(1)
+	r.Set(9, 0)
+	if a.At(1, 0) != 9 {
+		t.Fatal("Row must be a view")
+	}
+}
+
+func TestAddRowVectorAndSumRows(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	a.AddRowVector(FromSlice([]float64{10, 20}, 2))
+	if a.At(0, 0) != 11 || a.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector got %v", a.Data())
+	}
+	s := a.SumRows()
+	if s.At(0) != 11+13 || s.At(1) != 22+24 {
+		t.Fatalf("SumRows got %v", s.Data())
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	g := NewRNG(3)
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		a := Randn(r, 1, 3, 4)
+		b := Randn(r, 1, 4, 2)
+		c := Randn(r, 1, 4, 2)
+		lhs := MatMul(a, b.Add(c))
+		rhs := MatMul(a, b).Add(MatMul(a, c))
+		for i := range lhs.Data() {
+			if !almostEq(lhs.Data()[i], rhs.Data()[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: g.r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling commutes with matmul: (sA)B = s(AB).
+func TestMatMulScaleCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		s := r.NormFloat64()
+		a := Randn(r, 1, 2, 3)
+		b := Randn(r, 1, 3, 2)
+		lhs := MatMul(a.Scale(s), b)
+		rhs := MatMul(a, b).Scale(s)
+		for i := range lhs.Data() {
+			if !almostEq(lhs.Data()[i], rhs.Data()[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Norm2(x)² == Dot(x, x).
+func TestNormDotConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		x := Randn(r, 2, 17)
+		n := x.Norm2()
+		return almostEq(n*n, x.Dot(x), 1e-8*(1+n*n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := NewRNG(7)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	same := true
+	for i := 0; i < 10; i++ {
+		if f1.Float64() != f2.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("forked streams should differ")
+	}
+}
+
+func TestXavierBounds(t *testing.T) {
+	g := NewRNG(5)
+	w := XavierUniform(g, 100, 100, 100, 100)
+	bound := math.Sqrt(6.0 / 200.0)
+	for _, v := range w.Data() {
+		if v < -bound || v > bound {
+			t.Fatalf("Xavier sample %v outside ±%v", v, bound)
+		}
+	}
+}
+
+func TestHeNormalStd(t *testing.T) {
+	g := NewRNG(6)
+	w := HeNormal(g, 50, 20000)
+	var s2 float64
+	for _, v := range w.Data() {
+		s2 += v * v
+	}
+	got := math.Sqrt(s2 / float64(w.Size()))
+	want := math.Sqrt(2.0 / 50.0)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("He std=%v, want ≈%v", got, want)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice([]float64{1, 2}, 2)
+	if small.String() == "" {
+		t.Fatal("empty String for small tensor")
+	}
+	big := New(100)
+	if big.String() == "" {
+		t.Fatal("empty String for big tensor")
+	}
+}
