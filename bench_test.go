@@ -17,6 +17,7 @@ import (
 	"fedmigr/internal/drl"
 	"fedmigr/internal/experiments"
 	"fedmigr/internal/qp"
+	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
 
@@ -176,6 +177,46 @@ func BenchmarkLocalEpoch(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		if _, err := fedmigr.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTelemetryOptions is the workload for the telemetry-overhead pair
+// below: a full FedMigr run (migrations, aggregations, evaluations) small
+// enough to iterate.
+func benchTelemetryOptions() fedmigr.Options {
+	return fedmigr.Options{
+		Scheme: fedmigr.SchemeFedMigr, Migrator: fedmigr.MigratorGreedyEMD,
+		Model: fedmigr.ModelMLP, Clients: 10, LANs: 3,
+		PerClass: 10, Epochs: 10, AggEvery: 5, Seed: 1,
+	}
+}
+
+// BenchmarkTrainerTelemetryOff is the trainer hot path with telemetry
+// disabled (nil handles — the default every caller pays for).
+func BenchmarkTrainerTelemetryOff(b *testing.B) {
+	o := benchTelemetryOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fedmigr.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainerTelemetryOn is the identical run with a live registry
+// and a discarded JSONL sink. Comparing against ...Off bounds the cost of
+// the instrumentation; the disabled path must stay within a few percent
+// of pre-telemetry performance (nil-receiver no-ops).
+func BenchmarkTrainerTelemetryOn(b *testing.B) {
+	o := benchTelemetryOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tel := telemetry.New()
+		tel.SetSink(io.Discard)
+		o.Telemetry = tel
 		if _, err := fedmigr.Run(o); err != nil {
 			b.Fatal(err)
 		}

@@ -13,42 +13,66 @@
 //
 // Every node derives its data shard deterministically from -seed, -shards
 // and -shard, so no dataset files need distributing.
+//
+// Observability: -trace streams JSONL telemetry records to a file and
+// -debug-addr serves /metrics, /trace and /debug/pprof/ over HTTP (see
+// README.md "Observability"). SIGINT/SIGTERM shut the node down cleanly:
+// in-flight network operations are unblocked and the process exits after
+// flushing telemetry.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fedmigr/internal/core"
 	"fedmigr/internal/data"
 	"fedmigr/internal/fednet"
 	"fedmigr/internal/nn"
+	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
 
 func main() {
 	var (
-		role     = flag.String("role", "", "server|client")
-		listen   = flag.String("listen", "127.0.0.1:7070", "server: address to listen on; client: peer-transfer listen address (default ephemeral)")
-		server   = flag.String("server", "127.0.0.1:7070", "client: server address to join")
-		clients  = flag.Int("clients", 4, "server: number of clients to wait for")
-		rounds   = flag.Int("rounds", 4, "server: global iterations G")
-		agg      = flag.Int("agg", 5, "server: events per global iteration")
-		tau      = flag.Int("tau", 1, "server: local epochs per event")
-		batch    = flag.Int("batch", 8, "server: client mini-batch size")
-		lr       = flag.Float64("lr", 0.05, "server: client learning rate")
-		policy   = flag.String("policy", "greedy", "server: migration policy (greedy|random|stay)")
-		shard    = flag.Int("shard", 0, "client: this node's shard index")
-		shards   = flag.Int("shards", 4, "client: total shards (= number of clients)")
-		classes  = flag.Int("classes", 10, "synthetic dataset classes")
-		perClass = flag.Int("perclass", 20, "synthetic samples per class")
-		noise    = flag.Float64("noise", 1.2, "synthetic within-class noise")
-		seed     = flag.Int64("seed", 3, "shared deterministic seed")
-		timeout  = flag.Duration("timeout", 60*time.Second, "network operation timeout")
+		role      = flag.String("role", "", "server|client")
+		listen    = flag.String("listen", "127.0.0.1:7070", "server: address to listen on; client: peer-transfer listen address (default ephemeral)")
+		server    = flag.String("server", "127.0.0.1:7070", "client: server address to join")
+		clients   = flag.Int("clients", 4, "server: number of clients to wait for")
+		rounds    = flag.Int("rounds", 4, "server: global iterations G")
+		agg       = flag.Int("agg", 5, "server: events per global iteration")
+		tau       = flag.Int("tau", 1, "server: local epochs per event")
+		batch     = flag.Int("batch", 8, "server: client mini-batch size")
+		lr        = flag.Float64("lr", 0.05, "server: client learning rate")
+		policy    = flag.String("policy", "greedy", "server: migration policy (greedy|random|stay)")
+		shard     = flag.Int("shard", 0, "client: this node's shard index")
+		shards    = flag.Int("shards", 4, "client: total shards (= number of clients)")
+		classes   = flag.Int("classes", 10, "synthetic dataset classes")
+		perClass  = flag.Int("perclass", 20, "synthetic samples per class")
+		noise     = flag.Float64("noise", 1.2, "synthetic within-class noise")
+		seed      = flag.Int64("seed", 3, "shared deterministic seed")
+		timeout   = flag.Duration("timeout", 60*time.Second, "network operation timeout")
+		tracePath = flag.String("trace", "", "write JSONL telemetry records to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address")
 	)
 	flag.Parse()
+
+	tel, cleanup, err := setupTelemetry(*tracePath, *debugAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels ctx; a second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	factory := func() *nn.Sequential {
 		g := tensor.NewRNG(*seed + 11)
@@ -67,7 +91,7 @@ func main() {
 		}
 		srv, err := fednet.NewServer(fednet.ServerConfig{
 			K: *clients, Rounds: *rounds, AggEvery: *agg, Tau: *tau,
-			BatchSize: *batch, LR: *lr, Timeout: *timeout,
+			BatchSize: *batch, LR: *lr, Timeout: *timeout, Telemetry: tel,
 		}, factory, mig)
 		if err != nil {
 			fatal(err)
@@ -78,9 +102,10 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("fedmigr server on %s waiting for %d clients\n", addr, *clients)
-		if err := srv.Run(); err != nil {
+		if err := runUntilSignal(ctx, srv.Run, srv.Close); err != nil {
 			fatal(err)
 		}
+		tel.EmitSnapshot()
 		fmt.Println("per-round mean loss:")
 		for r, l := range srv.History {
 			fmt.Printf("  round %d: %.4f\n", r+1, l)
@@ -100,15 +125,16 @@ func main() {
 			cfgListen = *listen
 		}
 		c, err := fednet.NewClient(fednet.ClientConfig{
-			ServerAddr: *server, ListenAddr: cfgListen, Timeout: *timeout,
+			ServerAddr: *server, ListenAddr: cfgListen, Timeout: *timeout, Telemetry: tel,
 		}, parts[*shard], factory)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("fedmigr client shard %d/%d joining %s\n", *shard, *shards, *server)
-		if err := c.Run(); err != nil {
+		if err := runUntilSignal(ctx, c.Run, c.Close); err != nil {
 			fatal(err)
 		}
+		tel.EmitSnapshot()
 		fmt.Printf("client %d done: %d local epochs, %d models migrated out\n",
 			c.ID(), c.Epochs, c.Migrations)
 
@@ -117,6 +143,54 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+}
+
+// runUntilSignal runs the blocking session and, if ctx is cancelled first,
+// closes the node so the session unblocks and returns. An interrupted run
+// is reported as an error mentioning the shutdown cause.
+func runUntilSignal(ctx context.Context, run func() error, closeFn func()) error {
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "fedmigr-node: signal received, shutting down")
+		closeFn()
+		err := <-done
+		if err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
+		return nil
+	}
+}
+
+// setupTelemetry builds the node's telemetry (nil when both flags are
+// empty), attaching the JSONL sink and debug HTTP surface when requested.
+// The returned cleanup flushes and closes the trace file.
+func setupTelemetry(tracePath, debugAddr string) (*telemetry.Telemetry, func(), error) {
+	if tracePath == "" && debugAddr == "" {
+		return nil, func() {}, nil
+	}
+	tel := telemetry.New()
+	cleanup := func() {}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("telemetry trace: %w", err)
+		}
+		tel.SetSink(f)
+		cleanup = func() { _ = f.Close() }
+	}
+	if debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(debugAddr, telemetry.Handler(tel)); err != nil {
+				fmt.Fprintln(os.Stderr, "fedmigr-node: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug surface on http://%s/ (metrics, trace, pprof)\n", debugAddr)
+	}
+	return tel, cleanup, nil
 }
 
 func parsePolicy(name string) (core.Migrator, error) {

@@ -7,16 +7,23 @@
 //	fedmigr-sim -scheme fedmigr -migrator greedy -epochs 60 -agg 5
 //	fedmigr-sim -scheme fedavg -dataset c100 -clients 20 -lans 5
 //	fedmigr-sim -scheme randmigr -partition dominance -level 0.6 -target 0.8
+//
+// Observability: -trace streams JSONL telemetry (round events, migration
+// events, spans, a final metrics snapshot) to a file, and -debug-addr
+// serves /metrics, /trace and /debug/pprof/ over HTTP while the run is in
+// progress. See README.md "Observability".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	fedmigr "fedmigr"
 	"fedmigr/internal/checkpoint"
+	"fedmigr/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +50,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		quiet     = flag.Bool("quiet", false, "print only the final summary")
 		csvPath   = flag.String("csv", "", "write the evaluation history to this CSV file")
+		tracePath = flag.String("trace", "", "write JSONL telemetry records to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
@@ -50,6 +59,27 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var tel *telemetry.Telemetry
+	if *tracePath != "" || *debugAddr != "" {
+		tel = telemetry.New()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			tel.SetSink(f)
+		}
+		if *debugAddr != "" {
+			go func() {
+				if err := http.ListenAndServe(*debugAddr, telemetry.Handler(tel)); err != nil {
+					fmt.Fprintln(os.Stderr, "debug server:", err)
+				}
+			}()
+			fmt.Printf("debug surface on http://%s/ (metrics, trace, pprof)\n", *debugAddr)
+		}
 	}
 	o := fedmigr.Options{
 		Scheme:          sk,
@@ -72,6 +102,7 @@ func main() {
 		TimeBudget:      *timeBdg,
 		PrivacyEpsilon:  *epsilon,
 		Seed:            *seed,
+		Telemetry:       tel,
 	}
 	res, err := fedmigr.Run(o)
 	if err != nil {
@@ -106,6 +137,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics written to %s\n", *csvPath)
+	}
+	if *tracePath != "" {
+		fmt.Printf("telemetry trace written to %s\n", *tracePath)
 	}
 }
 

@@ -1,5 +1,7 @@
 // Quickstart: train one FedMigr model on non-IID synthetic data and print
-// the accuracy trajectory plus the resource bill.
+// the accuracy trajectory plus the resource bill. The run is observable:
+// a JSONL telemetry trace (round events, migration events, spans, final
+// metrics snapshot) is written next to the binary as quickstart-trace.jsonl.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,11 +9,22 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	fedmigr "fedmigr"
+	"fedmigr/internal/telemetry"
 )
 
 func main() {
+	const tracePath = "quickstart-trace.jsonl"
+	tel := telemetry.New()
+	trace, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer trace.Close()
+	tel.SetSink(trace)
+
 	res, err := fedmigr.Run(fedmigr.Options{
 		Scheme:    fedmigr.SchemeFedMigr,
 		Migrator:  fedmigr.MigratorGreedyEMD,
@@ -24,6 +37,7 @@ func main() {
 		Epochs:    40,
 		AggEvery:  5, // 4 migration events, then a global aggregation
 		Seed:      1,
+		Telemetry: tel,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -41,4 +55,8 @@ func main() {
 	fmt.Printf("C2S traffic    : %.2f MB (global aggregation only)\n", float64(res.Snapshot.C2SBytes)/1e6)
 	fmt.Printf("local traffic  : %.2f MB (intra-LAN model migrations)\n", float64(res.Snapshot.LocalBytes)/1e6)
 	fmt.Printf("completion time: %.1f simulated seconds\n", res.Snapshot.WallSeconds)
+
+	snap := tel.Snapshot()
+	fmt.Printf("telemetry      : %s (%d counters, %d gauges, %d histograms in final snapshot)\n",
+		tracePath, len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
 }

@@ -29,6 +29,7 @@ import (
 	"fedmigr/internal/edgenet"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/privacy"
+	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
 
@@ -149,6 +150,12 @@ type Options struct {
 	Cost *edgenet.CostModel
 	// DRL overrides the EMPG configuration for MigratorDRL.
 	DRL *drl.MigratorConfig
+
+	// Telemetry, when non-nil, instruments the run: per-round train loss
+	// and accuracy gauges, migration/aggregation spans and events, traffic
+	// counters mirrored from the edge accountant, and DRL agent internals.
+	// See README.md "Observability".
+	Telemetry *telemetry.Telemetry
 
 	Seed int64
 }
@@ -280,6 +287,10 @@ func New(o Options) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr.SetTelemetry(o.Telemetry)
+	if dm, ok := mig.(*drl.Migrator); ok {
+		dm.SetTelemetry(o.Telemetry)
+	}
 	return &Simulation{
 		Trainer: tr, Migrator: mig, Test: test, Clients: clients,
 		Topology: topo, Cost: cost, Options: o,
@@ -332,6 +343,10 @@ func NewWithMigrator(o Options, m core.Migrator) (*Simulation, error) {
 	tr, err := core.NewTrainer(cfg, sim.Clients, sim.Topology, sim.Cost, sim.Test, factoryOf(sim), m)
 	if err != nil {
 		return nil, err
+	}
+	tr.SetTelemetry(o.Telemetry)
+	if dm, ok := m.(*drl.Migrator); ok {
+		dm.SetTelemetry(o.Telemetry)
 	}
 	sim.Trainer = tr
 	return sim, nil

@@ -1,0 +1,38 @@
+package compress
+
+import (
+	"fedmigr/internal/telemetry"
+	"fedmigr/internal/tensor"
+)
+
+// Instrumented wraps a Codec so every Encode observes the *achieved*
+// bytes-per-parameter into a telemetry histogram — Ratio() is a static
+// estimate, but int8's 16-byte header and top-k's index overhead make
+// the real figure payload-dependent. A nil registry yields the codec
+// unchanged.
+type Instrumented struct {
+	Codec
+	hist *telemetry.Histogram
+}
+
+// Instrument attaches a compression-ratio histogram
+// (compress_bytes_per_param{codec=...}) to c. Buckets span 0.25..16
+// bytes/param, bracketing every codec in the package (8 = uncompressed).
+func Instrument(c Codec, tel *telemetry.Telemetry) Codec {
+	if tel == nil || c == nil {
+		return c
+	}
+	return &Instrumented{
+		Codec: c,
+		hist:  tel.Histogram("compress_bytes_per_param", telemetry.ExpBuckets(0.25, 2, 7), "codec", c.Name()),
+	}
+}
+
+// Encode implements Codec, recording len(payload)/n after delegating.
+func (i *Instrumented) Encode(v *tensor.Tensor) ([]byte, error) {
+	b, err := i.Codec.Encode(v)
+	if err == nil && v.Size() > 0 {
+		i.hist.Observe(float64(len(b)) / float64(v.Size()))
+	}
+	return b, err
+}

@@ -1,0 +1,50 @@
+package compress
+
+import (
+	"testing"
+
+	"fedmigr/internal/telemetry"
+	"fedmigr/internal/tensor"
+)
+
+func TestInstrumentNilTelemetryPassthrough(t *testing.T) {
+	c := Float32Codec{}
+	if got := Instrument(c, nil); got != Codec(c) {
+		t.Fatalf("nil telemetry should return the codec unchanged, got %T", got)
+	}
+}
+
+func TestInstrumentObservesAchievedRatio(t *testing.T) {
+	tel := telemetry.New()
+	c := Instrument(Int8Codec{}, tel)
+	v := tensor.New(64)
+	for i := range v.Data() {
+		v.Data()[i] = float64(i)
+	}
+	payload, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip still works through the wrapper.
+	r, err := c.Decode(payload, v.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != v.Size() {
+		t.Fatalf("decoded %d params, want %d", r.Size(), v.Size())
+	}
+
+	snap := tel.Snapshot()
+	h, ok := snap.Histograms["compress_bytes_per_param{codec=int8}"]
+	if !ok {
+		t.Fatalf("ratio histogram missing; have %v", snap.Histograms)
+	}
+	if h.Count != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count)
+	}
+	// int8 achieves (16 header + n) / n bytes per parameter.
+	want := float64(len(payload)) / float64(v.Size())
+	if h.Sum != want {
+		t.Fatalf("observed ratio %v, want %v", h.Sum, want)
+	}
+}

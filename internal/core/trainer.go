@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fedmigr/internal/data"
 	"fedmigr/internal/edgenet"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/stats"
+	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
 
@@ -46,6 +48,15 @@ type Trainer struct {
 	history   []RoundMetrics
 	pending   *pendingFeedback
 	modelSize int64
+
+	// Telemetry (nil and allocation-free unless SetTelemetry installs it).
+	tel         *telemetry.Telemetry
+	started     time.Time
+	mTrainLoss  *telemetry.Gauge
+	mTestAcc    *telemetry.Gauge
+	mEpochs     *telemetry.Counter
+	mRounds     *telemetry.Counter
+	mMigrations *telemetry.Counter
 }
 
 type pendingFeedback struct {
@@ -115,6 +126,40 @@ func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edg
 
 // Accountant exposes the run's resource accounting.
 func (t *Trainer) Accountant() *edgenet.Accountant { return t.acct }
+
+// SetTelemetry installs the run's observability sinks: loss/accuracy
+// gauges, epoch/round/migration counters, per-phase spans, and a mirror
+// of the accountant's traffic into the same registry. A nil tel (the
+// default) keeps every instrumented path a no-op.
+func (t *Trainer) SetTelemetry(tel *telemetry.Telemetry) {
+	t.tel = tel
+	t.acct.Mirror(tel.Registry())
+	t.mTrainLoss = tel.Gauge("core_train_loss")
+	t.mTestAcc = tel.Gauge("core_test_accuracy")
+	t.mEpochs = tel.Counter("core_epochs_total")
+	t.mRounds = tel.Counter("core_rounds_total")
+	t.mMigrations = tel.Counter("core_migrations_total")
+}
+
+// recordRound appends one evaluation record to the history and emits the
+// matching telemetry gauges and JSONL "round" event — the single place
+// the two schemas are kept in agreement.
+func (t *Trainer) recordRound(loss, acc float64) {
+	snap := t.acct.Snapshot()
+	t.history = append(t.history, RoundMetrics{
+		Epoch: t.epoch, Round: t.round, TrainLoss: loss, TestAcc: acc,
+		Duration: time.Since(t.started), Snapshot: snap,
+	})
+	t.mTrainLoss.Set(loss)
+	t.mTestAcc.Set(acc)
+	if t.tel != nil {
+		t.tel.Event("round",
+			"epoch", t.epoch, "round", t.round, "loss", loss, "acc", acc,
+			"total_bytes", snap.TotalBytes, "global_bytes", snap.GlobalBytes,
+			"c2s_bytes", snap.C2SBytes, "wall_seconds", snap.WallSeconds,
+			"compute_seconds", snap.ComputeSecs)
+	}
+}
 
 // Epoch returns the current epoch index.
 func (t *Trainer) Epoch() int { return t.epoch }
@@ -202,6 +247,7 @@ func (t *Trainer) snapshotState(epochCompute float64, epochBytes int64) State {
 // localEpoch runs one local training epoch for every model on its hosting
 // client's data, returning the average loss and charging compute time.
 func (t *Trainer) localEpoch() float64 {
+	sp := t.tel.Begin("local_epoch")
 	k := len(t.models)
 	perClientTime := make([]float64, k)
 	lossSum, lossN := 0.0, 0
@@ -247,10 +293,13 @@ func (t *Trainer) localEpoch() float64 {
 	}
 	t.acct.AddWallTime(wall)
 	t.acct.AddComputeTime(device)
-	if lossN == 0 {
-		return t.lastLoss
+	t.mEpochs.Inc()
+	avg := t.lastLoss
+	if lossN > 0 {
+		avg = lossSum / float64(lossN)
 	}
-	return lossSum / float64(lossN)
+	sp.End("epoch", t.epoch, "loss", avg)
+	return avg
 }
 
 // trainOneEpoch runs τ=1 pass of mini-batch SGD of model over ds,
@@ -420,6 +469,12 @@ func (t *Trainer) migrate(st *State) []int {
 				maxT = tt
 			}
 			t.loc[m] = d
+			t.mMigrations.Inc()
+			if t.tel != nil {
+				t.tel.Event("migration",
+					"epoch", t.epoch, "model", m, "from", src, "to", d,
+					"kind", kind.String(), "bytes", t.modelSize)
+			}
 		}
 		t.acct.AddWallTime(maxT)
 		return dest
@@ -522,12 +577,15 @@ func (t *Trainer) budgetExceeded() bool {
 func (t *Trainer) Run() *Result {
 	cfg := t.cfg
 	res := &Result{}
+	t.started = time.Now()
 	t.lastLoss = math.Inf(1)
 	t.prevLoss = math.Inf(1)
 	lastAcc := 0.0
 
 	// Initial distribution of the (random) global model.
+	sp := t.tel.Begin("distribution")
 	t.distribute()
+	sp.End("epoch", t.epoch)
 
 	eventsPerRound := cfg.AggEvery
 	stop := false
@@ -545,10 +603,7 @@ func (t *Trainer) Run() *Result {
 			t.epoch++
 			if cfg.EvalEvery > 0 && t.epoch%cfg.EvalEvery == 0 {
 				lastAcc = t.evaluate()
-				t.history = append(t.history, RoundMetrics{
-					Epoch: t.epoch, Round: t.round, TrainLoss: loss,
-					TestAcc: lastAcc, Snapshot: t.acct.Snapshot(),
-				})
+				t.recordRound(loss, lastAcc)
 				if cfg.TargetAccuracy > 0 && lastAcc >= cfg.TargetAccuracy {
 					stop, stopSuccess = true, true
 				}
@@ -580,10 +635,17 @@ func (t *Trainer) Run() *Result {
 		// event, aggregation + redistribution on the last.
 		eventIdx := (t.epoch / cfg.Tau) % eventsPerRound
 		if eventIdx == 0 {
+			sp := t.tel.Begin("aggregation")
 			t.aggregate()
+			sp.End("round", t.round, "epoch", t.epoch)
+			t.mRounds.Inc()
+			sp = t.tel.Begin("distribution")
 			t.distribute()
+			sp.End("epoch", t.epoch)
 		} else {
+			sp := t.tel.Begin("migration_event")
 			action := t.migrate(&st)
+			sp.End("epoch", t.epoch)
 			if action != nil && t.migrator != nil {
 				t.pending = &pendingFeedback{prev: st, action: action}
 			}
@@ -603,16 +665,16 @@ func (t *Trainer) Run() *Result {
 
 	if len(t.history) == 0 || t.history[len(t.history)-1].Epoch != t.epoch {
 		lastAcc = t.evaluate()
-		t.history = append(t.history, RoundMetrics{
-			Epoch: t.epoch, Round: t.round, TrainLoss: t.lastLoss,
-			TestAcc: lastAcc, Snapshot: t.acct.Snapshot(),
-		})
+		t.recordRound(t.lastLoss, lastAcc)
 	}
 	res.History = t.history
 	res.FinalLoss = t.lastLoss
 	res.FinalAcc = lastAcc
 	res.Epochs = t.epoch
+	res.Rounds = t.round
+	res.Duration = time.Since(t.started)
 	res.ReachedTarget = stopSuccess
 	res.Snapshot = t.acct.Snapshot()
+	t.tel.EmitSnapshot()
 	return res
 }

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"fedmigr/internal/data"
 	"fedmigr/internal/edgenet"
@@ -227,13 +228,18 @@ type Migrator interface {
 	Feedback(prev *State, action []int, next *State, done, success bool)
 }
 
-// RoundMetrics is one evaluation record of a training run.
+// RoundMetrics is one evaluation record of a training run. It is the
+// same schema the telemetry JSONL "round" events carry, so traces and
+// in-memory history stay interchangeable.
 type RoundMetrics struct {
 	Epoch     int
 	Round     int
 	TrainLoss float64
 	TestAcc   float64
-	Snapshot  edgenet.Snapshot
+	// Duration is the real (not simulated) wall-clock time elapsed since
+	// the run started when this record was taken.
+	Duration time.Duration
+	Snapshot edgenet.Snapshot
 }
 
 // Result summarizes a completed run.
@@ -243,6 +249,11 @@ type Result struct {
 	FinalLoss float64
 	FinalAcc  float64
 	Epochs    int
+	// Rounds is the number of completed global iterations (aggregations).
+	Rounds int
+	// Duration is the real wall-clock time the run took (the simulated
+	// completion time lives in Snapshot.WallSeconds).
+	Duration time.Duration
 	// ReachedTarget reports whether TargetAccuracy (if set) was reached.
 	ReachedTarget bool
 	// BudgetExhausted reports whether a budget stop fired first.

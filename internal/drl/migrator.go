@@ -5,6 +5,7 @@ import (
 
 	"fedmigr/internal/core"
 	"fedmigr/internal/qp"
+	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
 
@@ -107,6 +108,11 @@ type Migrator struct {
 	// episodeRewards accumulates the rewards seen (diagnostics).
 	rewardSum float64
 	rewardN   int
+
+	// Telemetry handles (nil when disabled; all no-ops then).
+	telRho, telReplay, telReward *telemetry.Gauge
+	telTrainSteps                *telemetry.Counter
+	telTD                        *telemetry.Histogram
 }
 
 var _ core.Migrator = (*Migrator)(nil)
@@ -133,6 +139,23 @@ func NewMigrator(cfg MigratorConfig) *Migrator {
 
 // Rho returns the current exploration probability.
 func (m *Migrator) Rho() float64 { return m.rho }
+
+// SetTelemetry attaches observability: exploration ρ, replay-buffer
+// occupancy, running mean reward, training-step count, and the critic's
+// per-step mean |TD error| (a histogram, so drift shows up in quantiles).
+// A nil argument detaches.
+func (m *Migrator) SetTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		m.telRho, m.telReplay, m.telReward = nil, nil, nil
+		m.telTrainSteps, m.telTD = nil, nil
+		return
+	}
+	m.telRho = tel.Gauge("drl_rho")
+	m.telReplay = tel.Gauge("drl_replay_occupancy")
+	m.telReward = tel.Gauge("drl_mean_reward")
+	m.telTrainSteps = tel.Counter("drl_train_steps_total")
+	m.telTD = tel.Histogram("drl_td_abs", telemetry.ExpBuckets(1e-3, 2, 16))
+}
 
 // MeanReward returns the running mean reward observed (0 before feedback).
 func (m *Migrator) MeanReward() float64 {
@@ -408,7 +431,12 @@ func (m *Migrator) Feedback(prev *core.State, action []int, next *core.State, do
 		}
 	}
 	for i := 0; i < m.cfg.TrainPerFeedback; i++ {
-		m.Agent.TrainStep()
+		td := m.Agent.TrainStep()
+		m.telTrainSteps.Inc()
+		m.telTD.Observe(td)
 	}
 	m.rho = math.Max(m.cfg.RhoMin, m.rho*m.cfg.RhoDecay)
+	m.telRho.Set(m.rho)
+	m.telReplay.Set(float64(m.Agent.Buffer.Len()))
+	m.telReward.Set(m.MeanReward())
 }

@@ -3,6 +3,8 @@ package edgenet
 import (
 	"fmt"
 	"sort"
+
+	"fedmigr/internal/telemetry"
 )
 
 // Accountant accumulates the resource consumption of a federated-training
@@ -15,6 +17,12 @@ type Accountant struct {
 	wallSeconds   float64
 	computeSecs   float64
 	transfers     int
+
+	// Mirror metrics (nil — and free — until Mirror installs a registry).
+	telBytes     [3]*telemetry.Counter
+	telTransfers *telemetry.Counter
+	telWall      *telemetry.Gauge
+	telCompute   *telemetry.Gauge
 }
 
 // NewAccountant returns an empty accountant.
@@ -23,6 +31,25 @@ func NewAccountant() *Accountant {
 		trafficByKind: make(map[LinkKind]int64),
 		linkUse:       make(map[[2]int]int),
 	}
+}
+
+// Mirror additionally feeds every subsequent recording into reg, so the
+// simulated accountant and live telemetry share one metric namespace:
+// edgenet_bytes_total{kind=…}, edgenet_transfers_total, and the
+// edgenet_wall_seconds / edgenet_compute_seconds cumulative gauges. A nil
+// reg detaches the mirror.
+func (a *Accountant) Mirror(reg *telemetry.Registry) {
+	if reg == nil {
+		a.telBytes = [3]*telemetry.Counter{}
+		a.telTransfers, a.telWall, a.telCompute = nil, nil, nil
+		return
+	}
+	for _, kind := range []LinkKind{IntraLAN, CrossLAN, C2S} {
+		a.telBytes[kind] = reg.Counter("edgenet_bytes_total", "kind", kind.String())
+	}
+	a.telTransfers = reg.Counter("edgenet_transfers_total")
+	a.telWall = reg.Gauge("edgenet_wall_seconds")
+	a.telCompute = reg.Gauge("edgenet_compute_seconds")
 }
 
 // RecordTransfer logs a completed transfer of `bytes` between i and j over
@@ -37,6 +64,8 @@ func (a *Accountant) RecordTransfer(i, j int, kind LinkKind, bytes int64) {
 	if kind != C2S {
 		a.linkUse[PairKey(i, j)]++
 	}
+	a.telBytes[kind].Add(bytes)
+	a.telTransfers.Inc()
 }
 
 // AddWallTime advances the simulated wall clock by sec.
@@ -45,6 +74,7 @@ func (a *Accountant) AddWallTime(sec float64) {
 		panic("edgenet: negative wall time")
 	}
 	a.wallSeconds += sec
+	a.telWall.Set(a.wallSeconds)
 }
 
 // AddComputeTime logs (possibly overlapping) device compute seconds,
@@ -54,6 +84,7 @@ func (a *Accountant) AddComputeTime(sec float64) {
 		panic("edgenet: negative compute time")
 	}
 	a.computeSecs += sec
+	a.telCompute.Set(a.computeSecs)
 }
 
 // Traffic returns the cumulative bytes moved over the given kind.

@@ -1,0 +1,117 @@
+package edgenet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewBandwidthTraceValidation(t *testing.T) {
+	if _, err := NewBandwidthTrace(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewBandwidthTrace([]float64{1, 0, 1}); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+	if _, err := NewBandwidthTrace([]float64{1, -0.5}); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+	tr, err := NewBandwidthTrace([]float64{0.5, 2})
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if tr.Step() != 0 {
+		t.Fatalf("fresh trace at step %d", tr.Step())
+	}
+}
+
+func TestBandwidthTraceCopiesFactors(t *testing.T) {
+	factors := []float64{1, 2}
+	tr, err := NewBandwidthTrace(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors[0] = 1e9 // mutating the caller's slice must not affect the trace
+	if got := tr.next(); got != 1 {
+		t.Fatalf("factor 0 = %v, want the copied 1", got)
+	}
+}
+
+func TestBandwidthTraceCycles(t *testing.T) {
+	tr, err := NewBandwidthTrace([]float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1, 2, 0.5, 1, 2, 0.5}
+	for i, w := range want {
+		if got := tr.next(); got != w {
+			t.Fatalf("step %d: factor %v, want %v", i, got, w)
+		}
+	}
+	if tr.Step() != len(want) {
+		t.Fatalf("Step() = %d, want %d", tr.Step(), len(want))
+	}
+}
+
+// TestSetTraceScalesTransferTime checks the trace multiplier composes with
+// TransferTime: halving bandwidth doubles the (latency-free) transfer part.
+func TestSetTraceScalesTransferTime(t *testing.T) {
+	c := DefaultCostModel()
+	c.IntraLANLatency = 0
+	base := c.TransferTime(0, 1, IntraLAN, 1_000_000)
+
+	tr, err := NewBandwidthTrace([]float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrace(IntraLAN, tr)
+	slow := c.TransferTime(0, 1, IntraLAN, 1_000_000)
+	if math.Abs(slow-2*base) > 1e-9 {
+		t.Fatalf("factor-0.5 transfer = %v, want %v", slow, 2*base)
+	}
+	normal := c.TransferTime(0, 1, IntraLAN, 1_000_000)
+	if math.Abs(normal-base) > 1e-9 {
+		t.Fatalf("factor-1 transfer = %v, want %v", normal, base)
+	}
+	if tr.Step() != 2 {
+		t.Fatalf("trace advanced %d steps, want 2", tr.Step())
+	}
+}
+
+// TestTraceOnlyAffectsItsKind makes sure a trace installed for one link
+// kind leaves the others untouched.
+func TestTraceOnlyAffectsItsKind(t *testing.T) {
+	c := DefaultCostModel()
+	tr, err := NewBandwidthTrace([]float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrace(C2S, tr)
+	before := tr.Step()
+	_ = c.TransferTime(0, 1, IntraLAN, 1_000_000)
+	_ = c.TransferTime(0, 2, CrossLAN, 1_000_000)
+	if tr.Step() != before {
+		t.Fatal("non-C2S transfers consumed C2S trace steps")
+	}
+	_ = c.TransferTime(0, 0, C2S, 1_000_000)
+	if tr.Step() != before+1 {
+		t.Fatal("C2S transfer did not consume a trace step")
+	}
+}
+
+func TestSetTraceNilRemoves(t *testing.T) {
+	c := DefaultCostModel()
+	c.C2SLatency = 0
+	base := c.TransferTime(0, 0, C2S, 1_000_000)
+	tr, err := NewBandwidthTrace([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrace(C2S, tr)
+	c.SetTrace(C2S, nil)
+	if got := c.TransferTime(0, 0, C2S, 1_000_000); got != base {
+		t.Fatalf("after removal transfer = %v, want %v", got, base)
+	}
+	if tr.Step() != 0 {
+		t.Fatal("removed trace still consumed")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fedmigr/internal/core"
 	"fedmigr/internal/data"
 	"fedmigr/internal/nn"
+	"fedmigr/internal/telemetry"
 )
 
 // ClientConfig parameterizes a client node.
@@ -20,6 +21,9 @@ type ClientConfig struct {
 	ListenAddr string
 	// Timeout bounds every blocking network operation (default 30s).
 	Timeout time.Duration
+	// Telemetry, when non-nil, records RPC latency histograms and
+	// per-message-type byte/count metrics under role=client.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -51,6 +55,7 @@ type Client struct {
 
 	conn net.Conn
 	ln   net.Listener
+	nm   *netMetrics
 
 	// hosted maps model id → model instance.
 	hosted map[int]*nn.Sequential
@@ -80,11 +85,26 @@ func NewClient(cfg ClientConfig, dataset *data.Dataset, factory core.ModelFactor
 		cfg: cfg, dataset: dataset, factory: factory,
 		hosted: make(map[int]*nn.Sequential),
 		opts:   make(map[int]*nn.SGD),
+		nm:     newNetMetrics(cfg.Telemetry, "client"),
 	}, nil
 }
 
 // ID returns the server-assigned client id (valid after Run connects).
 func (c *Client) ID() int { return c.id }
+
+// Close interrupts a running client from another goroutine: it closes the
+// server connection and the peer listener, unblocking any pending network
+// operation so Run returns promptly (with an error if mid-session).
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	if c.ln != nil {
+		_ = c.ln.Close()
+	}
+}
 
 // Run connects, registers, and participates until the server shuts the
 // session down.
@@ -93,18 +113,23 @@ func (c *Client) Run() error {
 	if err != nil {
 		return fmt.Errorf("fednet: client listen: %w", err)
 	}
+	c.mu.Lock()
 	c.ln = ln
+	c.mu.Unlock()
 	defer ln.Close()
 
 	conn, err := net.Dial("tcp", c.cfg.ServerAddr)
 	if err != nil {
+		ln.Close()
 		return fmt.Errorf("fednet: dial server: %w", err)
 	}
+	c.mu.Lock()
 	c.conn = conn
+	c.mu.Unlock()
 	defer conn.Close()
 
 	setDeadline(conn, c.cfg.Timeout)
-	if err := WriteMessage(conn, &Message{
+	if err := c.nm.write(conn, &Message{
 		Type:       MsgHello,
 		ListenAddr: ln.Addr().String(),
 		NumSamples: c.dataset.Len(),
@@ -112,7 +137,7 @@ func (c *Client) Run() error {
 	}); err != nil {
 		return err
 	}
-	welcome, err := expect(conn, MsgWelcome)
+	welcome, err := c.nm.expect(conn, MsgWelcome)
 	if err != nil {
 		return err
 	}
@@ -126,7 +151,7 @@ func (c *Client) Run() error {
 
 	for {
 		setDeadline(conn, c.cfg.Timeout)
-		m, err := ReadMessage(conn)
+		m, err := c.nm.read(conn)
 		if err != nil {
 			return err
 		}
@@ -170,7 +195,7 @@ func (c *Client) onGlobalModel(m *Message) error {
 func (c *Client) localUpdateAndSignal() error {
 	loss := c.trainHosted()
 	setDeadline(c.conn, c.cfg.Timeout)
-	return WriteMessage(c.conn, &Message{Type: MsgCompletion, Loss: loss})
+	return c.nm.write(c.conn, &Message{Type: MsgCompletion, Loss: loss})
 }
 
 // trainHosted runs τ epochs of mini-batch SGD for every hosted model and
@@ -224,7 +249,7 @@ func (c *Client) onMigration(m *Message) error {
 				return
 			}
 			setDeadline(conn, c.cfg.Timeout)
-			tm, err := expect(conn, MsgModelTransfer)
+			tm, err := c.nm.expect(conn, MsgModelTransfer)
 			conn.Close()
 			if err != nil {
 				inCh <- inResult{nil, err}
@@ -261,7 +286,7 @@ func (c *Client) onMigration(m *Message) error {
 			return fmt.Errorf("fednet: client %d dial peer %s: %w", c.id, o.DestAddr, err)
 		}
 		setDeadline(peer, c.cfg.Timeout)
-		err = WriteMessage(peer, &Message{Type: MsgModelTransfer, ModelID: o.ModelID, Params: params})
+		err = c.nm.write(peer, &Message{Type: MsgModelTransfer, ModelID: o.ModelID, Params: params})
 		peer.Close()
 		if err != nil {
 			return err
@@ -281,7 +306,7 @@ func (c *Client) onMigration(m *Message) error {
 	c.mu.Unlock()
 
 	setDeadline(c.conn, c.cfg.Timeout)
-	if err := WriteMessage(c.conn, &Message{Type: MsgTransferDone}); err != nil {
+	if err := c.nm.write(c.conn, &Message{Type: MsgTransferDone}); err != nil {
 		return err
 	}
 	return c.localUpdateAndSignal()
@@ -312,7 +337,7 @@ func (c *Client) onAggregate() error {
 			return err
 		}
 		setDeadline(c.conn, c.cfg.Timeout)
-		if err := WriteMessage(c.conn, &Message{
+		if err := c.nm.write(c.conn, &Message{
 			Type: MsgLocalUpdate, ModelID: id, Params: params,
 			Weight: float64(c.dataset.Len()),
 		}); err != nil {

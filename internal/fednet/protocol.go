@@ -118,40 +118,55 @@ const maxFrame = 64 << 20 // 64 MiB: far above any model in the zoo
 
 // WriteMessage writes one length-prefixed gob frame.
 func WriteMessage(w io.Writer, m *Message) error {
+	_, err := WriteMessageCount(w, m)
+	return err
+}
+
+// WriteMessageCount writes one frame and returns the bytes put on the
+// wire (length prefix included) — the quantity telemetry byte counters
+// track.
+func WriteMessageCount(w io.Writer, m *Message) (int, error) {
 	var payload frameBuffer
 	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
-		return fmt.Errorf("fednet: encode %v: %w", m.Type, err)
+		return 0, fmt.Errorf("fednet: encode %v: %w", m.Type, err)
 	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
 	if _, err := w.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("fednet: write frame length: %w", err)
+		return 0, fmt.Errorf("fednet: write frame length: %w", err)
 	}
 	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("fednet: write frame: %w", err)
+		return 4, fmt.Errorf("fednet: write frame: %w", err)
 	}
-	return nil
+	return 4 + len(payload), nil
 }
 
 // ReadMessage reads one length-prefixed gob frame.
 func ReadMessage(r io.Reader) (*Message, error) {
+	m, _, err := ReadMessageCount(r)
+	return m, err
+}
+
+// ReadMessageCount reads one frame and returns the bytes consumed off the
+// wire (length prefix included).
+func ReadMessageCount(r io.Reader) (*Message, int, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("fednet: read frame length: %w", err)
+		return nil, 0, fmt.Errorf("fednet: read frame length: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("fednet: frame of %d bytes exceeds limit", n)
+		return nil, 4, fmt.Errorf("fednet: frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("fednet: read frame: %w", err)
+		return nil, 4, fmt.Errorf("fednet: read frame: %w", err)
 	}
 	var m Message
 	if err := gob.NewDecoder(frameReader{payload, new(int)}).Decode(&m); err != nil {
-		return nil, fmt.Errorf("fednet: decode frame: %w", err)
+		return nil, 4 + int(n), fmt.Errorf("fednet: decode frame: %w", err)
 	}
-	return &m, nil
+	return &m, 4 + int(n), nil
 }
 
 // frameBuffer is a minimal append-only buffer (avoids bytes import churn).
@@ -184,9 +199,13 @@ func expect(r io.Reader, want MsgType) (*Message, error) {
 		return nil, err
 	}
 	if m.Type != want {
-		return nil, fmt.Errorf("fednet: got %v, want %v", m.Type, want)
+		return nil, typeMismatch(m.Type, want)
 	}
 	return m, nil
+}
+
+func typeMismatch(got, want MsgType) error {
+	return fmt.Errorf("fednet: got %v, want %v", got, want)
 }
 
 // setDeadline applies a deadline when the connection supports it.

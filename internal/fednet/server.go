@@ -9,6 +9,7 @@ import (
 	"fedmigr/internal/core"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/stats"
+	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
 
@@ -25,6 +26,9 @@ type ServerConfig struct {
 	LR        float64
 	// Timeout bounds every blocking network operation (default 30s).
 	Timeout time.Duration
+	// Telemetry, when non-nil, records RPC latency histograms and
+	// per-message-type byte/count metrics under role=server.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -58,6 +62,7 @@ type Server struct {
 	global   *nn.Sequential
 	migrator core.Migrator
 	ln       net.Listener
+	nm       *netMetrics
 
 	conns   []net.Conn
 	addrs   []string
@@ -91,7 +96,10 @@ func NewServer(cfg ServerConfig, factory core.ModelFactory, migrator core.Migrat
 	if migrator == nil {
 		migrator = core.StayMigrator{}
 	}
-	return &Server{cfg: cfg, factory: factory, global: factory(), migrator: migrator}, nil
+	return &Server{
+		cfg: cfg, factory: factory, global: factory(), migrator: migrator,
+		nm: newNetMetrics(cfg.Telemetry, "server"),
+	}, nil
 }
 
 // Listen binds the server to addr (use "127.0.0.1:0" for an ephemeral
@@ -136,7 +144,7 @@ func (s *Server) accept() error {
 			return fmt.Errorf("fednet: accept: %w", err)
 		}
 		setDeadline(conn, s.cfg.Timeout)
-		hello, err := expect(conn, MsgHello)
+		hello, err := s.nm.expect(conn, MsgHello)
 		if err != nil {
 			return err
 		}
@@ -147,7 +155,7 @@ func (s *Server) accept() error {
 		s.effDist[id] = stats.Distribution(append([]float64(nil), hello.Dist...))
 		s.effSeen[id] = float64(hello.NumSamples)
 		s.loc[id] = id
-		if err := WriteMessage(conn, &Message{
+		if err := s.nm.write(conn, &Message{
 			Type: MsgWelcome, ClientID: id, K: k,
 			Rounds: s.cfg.Rounds, AggEvery: s.cfg.AggEvery, Tau: s.cfg.Tau,
 			BatchSize: s.cfg.BatchSize, LR: s.cfg.LR,
@@ -162,7 +170,7 @@ func (s *Server) accept() error {
 func (s *Server) broadcast(build func(id int) *Message) error {
 	for id, conn := range s.conns {
 		setDeadline(conn, s.cfg.Timeout)
-		if err := WriteMessage(conn, build(id)); err != nil {
+		if err := s.nm.write(conn, build(id)); err != nil {
 			return fmt.Errorf("fednet: to client %d: %w", id, err)
 		}
 	}
@@ -174,7 +182,7 @@ func (s *Server) collect(want MsgType) ([]*Message, error) {
 	out := make([]*Message, len(s.conns))
 	for id, conn := range s.conns {
 		setDeadline(conn, s.cfg.Timeout)
-		m, err := expect(conn, want)
+		m, err := s.nm.expect(conn, want)
 		if err != nil {
 			return nil, fmt.Errorf("fednet: from client %d: %w", id, err)
 		}
@@ -355,7 +363,7 @@ func (s *Server) aggregate() error {
 	for id, conn := range s.conns {
 		for n := 0; n < hosted[id]; n++ {
 			setDeadline(conn, s.cfg.Timeout)
-			m, err := expect(conn, MsgLocalUpdate)
+			m, err := s.nm.expect(conn, MsgLocalUpdate)
 			if err != nil {
 				return fmt.Errorf("fednet: update from client %d: %w", id, err)
 			}

@@ -1,0 +1,86 @@
+package fednet
+
+import (
+	"io"
+	"time"
+
+	"fedmigr/internal/telemetry"
+)
+
+// netMetrics instruments the wire protocol of one node: bytes in/out,
+// per-message-type counters, and write/read latency histograms. A nil
+// *netMetrics (telemetry disabled) delegates straight to the raw frame
+// functions at zero cost.
+type netMetrics struct {
+	txBytes, rxBytes    *telemetry.Counter
+	txMsg, rxMsg        [MsgShutdown + 1]*telemetry.Counter
+	writeSecs, readSecs *telemetry.Histogram
+}
+
+// rpcBuckets spans 0.1 ms to ~6.5 s of blocking network time.
+func rpcBuckets() []float64 { return telemetry.ExpBuckets(1e-4, 2, 16) }
+
+// newNetMetrics builds the node's handles under the given role label
+// ("server" or "client"); nil tel yields a nil (no-op) *netMetrics.
+func newNetMetrics(tel *telemetry.Telemetry, role string) *netMetrics {
+	if tel == nil {
+		return nil
+	}
+	nm := &netMetrics{
+		txBytes:   tel.Counter("fednet_bytes_total", "role", role, "dir", "tx"),
+		rxBytes:   tel.Counter("fednet_bytes_total", "role", role, "dir", "rx"),
+		writeSecs: tel.Histogram("fednet_rpc_seconds", rpcBuckets(), "role", role, "op", "write"),
+		readSecs:  tel.Histogram("fednet_rpc_seconds", rpcBuckets(), "role", role, "op", "read"),
+	}
+	for t := MsgHello; t <= MsgShutdown; t++ {
+		nm.txMsg[t] = tel.Counter("fednet_msgs_total", "role", role, "dir", "tx", "type", t.String())
+		nm.rxMsg[t] = tel.Counter("fednet_msgs_total", "role", role, "dir", "rx", "type", t.String())
+	}
+	return nm
+}
+
+// write sends one frame, recording bytes, message type and latency.
+func (nm *netMetrics) write(w io.Writer, m *Message) error {
+	if nm == nil {
+		return WriteMessage(w, m)
+	}
+	start := time.Now()
+	n, err := WriteMessageCount(w, m)
+	nm.writeSecs.Observe(time.Since(start).Seconds())
+	nm.txBytes.Add(int64(n))
+	if m.Type <= MsgShutdown {
+		nm.txMsg[m.Type].Inc()
+	}
+	return err
+}
+
+// read receives one frame, recording bytes, message type and the blocking
+// time spent waiting for it.
+func (nm *netMetrics) read(r io.Reader) (*Message, error) {
+	if nm == nil {
+		return ReadMessage(r)
+	}
+	start := time.Now()
+	m, n, err := ReadMessageCount(r)
+	nm.readSecs.Observe(time.Since(start).Seconds())
+	nm.rxBytes.Add(int64(n))
+	if m != nil && m.Type <= MsgShutdown {
+		nm.rxMsg[m.Type].Inc()
+	}
+	return m, err
+}
+
+// expect reads one frame and verifies its type.
+func (nm *netMetrics) expect(r io.Reader, want MsgType) (*Message, error) {
+	if nm == nil {
+		return expect(r, want)
+	}
+	m, err := nm.read(r)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != want {
+		return nil, typeMismatch(m.Type, want)
+	}
+	return m, nil
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The no-op path must stay allocation-free: instrumented hot loops hold
+// possibly-nil metric handles, and a disabled run should cost only the
+// nil checks.
+
+func BenchmarkCounterNoop(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramNoop(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("h", ExpBuckets(1, 2, 20))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1024))
+	}
+}
+
+func BenchmarkSpanNoop(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("s").End()
+	}
+}
+
+func BenchmarkSpanEnabledDiscard(b *testing.B) {
+	tr := NewTracer(64)
+	tr.SetSink(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("s").End()
+	}
+}

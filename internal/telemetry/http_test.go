@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerMetricsAndTrace(t *testing.T) {
+	tel := New()
+	tel.Counter("edgenet_bytes_total", "kind", "c2s").Add(1234)
+	tel.Event("migration", "model", 1)
+	srv := httptest.NewServer(Handler(tel))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.Counter("edgenet_bytes_total{kind=c2s}") != 1234 {
+		t.Fatalf("counters %v", snap.Counters)
+	}
+
+	resp2, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var recs []Record
+	if err := json.NewDecoder(resp2.Body).Decode(&recs); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Name != "migration" {
+		t.Fatalf("/trace records %v", recs)
+	}
+}
+
+func TestHandlerPprofAndNil(t *testing.T) {
+	// nil telemetry still profiles and serves empty metrics.
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	for _, path := range []string{"/", "/metrics", "/trace", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path status %d", resp.StatusCode)
+	}
+}

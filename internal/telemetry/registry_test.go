@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tel *Telemetry
+	// Every recording path must be a no-op, not a panic.
+	tel.Counter("c").Inc()
+	tel.Counter("c", "k", "v").Add(5)
+	tel.Gauge("g").Set(1)
+	tel.Histogram("h", ExpBuckets(1, 2, 4)).Observe(3)
+	sp := tel.Begin("span", "k", 1)
+	sp.End("k2", 2)
+	tel.Event("ev")
+	tel.EmitSnapshot()
+	if got := tel.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	snap := tel.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+	var reg *Registry
+	if reg.Counter("x") != nil || reg.Gauge("x") != nil || reg.Histogram("x", nil) != nil {
+		t.Fatal("nil registry handed out a live metric")
+	}
+}
+
+func TestCounterGaugeIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("tx_bytes", "kind", "c2s")
+	b := r.Counter("tx_bytes", "kind", "c2s")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if c := r.Counter("tx_bytes", "kind", "c2c"); c == a {
+		t.Fatal("distinct labels shared a counter")
+	}
+	a.Add(3)
+	b.Inc()
+	if a.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", a.Value())
+	}
+	g := r.Gauge("rho")
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	if r.Gauge("rho") != g {
+		t.Fatal("gauge identity unstable")
+	}
+}
+
+func TestMetricKeyCanonical(t *testing.T) {
+	if k := metricKey("m", nil); k != "m" {
+		t.Fatalf("bare key %q", k)
+	}
+	if k := metricKey("m", []string{"a", "1", "b", "2"}); k != "m{a=1,b=2}" {
+		t.Fatalf("labeled key %q", k)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list did not panic")
+		}
+	}()
+	metricKey("m", []string{"a"})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LinearBuckets(10, 10, 10)) // bounds 10..100
+	// 100 uniform samples 1..100: quantiles should land near their rank.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 5050 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 10}, {0.9, 90, 10}, {0.99, 99, 10}, {0, 0, 10}, {1, 100, 1e-9},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("q%v = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Overflow bucket attributes to the highest finite bound.
+	h2 := r.Histogram("over", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+	// Unsorted bounds are sorted at creation.
+	h3 := r.Histogram("unsorted", []float64{5, 1, 3})
+	h3.Observe(2)
+	snap := r.Snapshot().Histograms["unsorted"]
+	if snap.Bounds[0] != 1 || snap.Bounds[1] != 3 || snap.Bounds[2] != 5 {
+		t.Fatalf("bounds not sorted: %v", snap.Bounds)
+	}
+	if snap.Counts[1] != 1 { // 2 ∈ (1, 3]
+		t.Fatalf("bucket counts %v", snap.Counts)
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram not zero")
+	}
+	h2 := newHistogram([]float64{1})
+	if h2.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestSnapshotSemantics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(2.5)
+	r.Histogram("c", ExpBuckets(1, 10, 3)).Observe(5)
+	snap := r.Snapshot()
+	// Snapshot is a frozen copy: later updates must not leak in.
+	r.Counter("a").Add(100)
+	r.Gauge("b").Set(-1)
+	r.Histogram("c", nil).Observe(500)
+	if snap.Counter("a") != 7 {
+		t.Fatalf("snapshot counter = %d, want 7", snap.Counter("a"))
+	}
+	if snap.Gauges["b"] != 2.5 {
+		t.Fatalf("snapshot gauge = %v", snap.Gauges["b"])
+	}
+	hs := snap.Histograms["c"]
+	if hs.Count != 1 || hs.Sum != 5 {
+		t.Fatalf("snapshot histogram %+v", hs)
+	}
+	if len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("counts/bounds shape %d/%d", len(hs.Counts), len(hs.Bounds))
+	}
+	// Live registry did advance.
+	if r.Snapshot().Counter("a") != 107 {
+		t.Fatal("registry did not advance after snapshot")
+	}
+}
+
+// TestConcurrentIncrements exercises counters/gauges/histograms from
+// parallel goroutines; run under -race this validates the lock-free
+// update paths.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Fetch inside the goroutine: registry access itself must be
+			// concurrency-safe too.
+			c := r.Counter("hits")
+			h := r.Histogram("obs", LinearBuckets(100, 100, 10))
+			g := r.Gauge("last")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+				g.Set(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot() // snapshots race against updates
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("obs", nil)
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	wantSum := float64(workers) * float64(perWorker*(perWorker-1)) / 2
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if exp[i] != want {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0.5, 0.5, 3)
+	for i, want := range []float64{0.5, 1.0, 1.5} {
+		if lin[i] != want {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+	for _, f := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { LinearBuckets(0, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid buckets did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

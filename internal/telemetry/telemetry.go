@@ -1,0 +1,103 @@
+// Package telemetry is the stdlib-only observability layer of the
+// reproduction: a concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms with quantile estimation), lightweight
+// begin/end spans and events with a bounded ring buffer and a streaming
+// JSONL sink, and an optional HTTP debug surface (/metrics JSON plus
+// net/http/pprof).
+//
+// Every entry point is nil-safe: a nil *Telemetry (and the nil metric
+// handles it hands out) turns all recording into no-ops, so instrumented
+// hot paths cost nothing when telemetry is disabled. Callers fetch metric
+// handles once at setup and hold them:
+//
+//	tel := telemetry.New()
+//	bytes := tel.Counter("fednet_tx_bytes_total")
+//	...
+//	bytes.Add(n) // safe and free even when tel (and bytes) are nil
+//
+// Spans time a region and stream it to the JSONL sink when one is set:
+//
+//	sp := tel.Begin("aggregation", "round", round)
+//	... work ...
+//	sp.End()
+package telemetry
+
+import "io"
+
+// Telemetry bundles a metrics registry and a tracer behind one nil-safe
+// handle — the type instrumented packages accept.
+type Telemetry struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// New returns an enabled Telemetry with an empty registry and a tracer
+// holding up to DefaultRingCap recent events (no sink until SetSink).
+func New() *Telemetry {
+	return &Telemetry{reg: NewRegistry(), tr: NewTracer(DefaultRingCap)}
+}
+
+// Registry returns the underlying metrics registry (nil when disabled).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Tracer returns the underlying tracer (nil when disabled).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tr
+}
+
+// Counter fetches (creating if needed) a counter; nil when disabled.
+// Labels are alternating key, value pairs.
+func (t *Telemetry) Counter(name string, labels ...string) *Counter {
+	return t.Registry().Counter(name, labels...)
+}
+
+// Gauge fetches (creating if needed) a gauge; nil when disabled.
+func (t *Telemetry) Gauge(name string, labels ...string) *Gauge {
+	return t.Registry().Gauge(name, labels...)
+}
+
+// Histogram fetches (creating if needed) a histogram over the given
+// bucket upper bounds; nil when disabled.
+func (t *Telemetry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return t.Registry().Histogram(name, bounds, labels...)
+}
+
+// Begin opens a span; a zero Span (no-op End) when disabled.
+func (t *Telemetry) Begin(name string, kv ...any) Span {
+	return t.Tracer().Begin(name, kv...)
+}
+
+// Event records an instantaneous event; no-op when disabled.
+func (t *Telemetry) Event(name string, kv ...any) {
+	t.Tracer().Event(name, kv...)
+}
+
+// SetSink streams every completed span/event as one JSON line to w.
+func (t *Telemetry) SetSink(w io.Writer) {
+	t.Tracer().SetSink(w)
+}
+
+// Snapshot captures the registry's current totals (zero when disabled).
+func (t *Telemetry) Snapshot() Snapshot { return t.Registry().Snapshot() }
+
+// EmitSnapshot writes the current metrics snapshot into the trace stream
+// as a "snapshot" record — conventionally the last line of a run's JSONL.
+func (t *Telemetry) EmitSnapshot() {
+	if t == nil || t.tr == nil {
+		return
+	}
+	snap := t.Snapshot()
+	t.tr.emit(Record{Type: "snapshot", Fields: map[string]any{
+		"counters":   snap.Counters,
+		"gauges":     snap.Gauges,
+		"histograms": snap.Histograms,
+	}})
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultRingCap bounds the tracer's in-memory event ring.
+const DefaultRingCap = 4096
+
+// Record is one trace entry: a completed span, an instantaneous event, or
+// a metrics snapshot. Records stream to the JSONL sink as they complete
+// and are retained in a bounded ring for in-process inspection.
+type Record struct {
+	// TimeUnixNano is the record's wall-clock timestamp (span start for
+	// spans).
+	TimeUnixNano int64 `json:"t"`
+	// Type is "span", "event" or "snapshot".
+	Type string `json:"type"`
+	// Name identifies the span/event (empty for snapshots).
+	Name string `json:"name,omitempty"`
+	// DurationNS is the span's wall-clock duration (spans only).
+	DurationNS int64 `json:"dur_ns,omitempty"`
+	// Fields carries the record's structured attributes.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Tracer records spans and events into a bounded ring buffer and,
+// optionally, a streaming JSONL sink. All methods are safe for concurrent
+// use; the nil Tracer is a valid no-op.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Record
+	next int
+	full bool
+	w    io.Writer
+	err  error
+	drop int64
+}
+
+// NewTracer returns a tracer retaining the ringCap most recent records
+// (DefaultRingCap when ringCap <= 0).
+func NewTracer(ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Tracer{ring: make([]Record, ringCap)}
+}
+
+// SetSink streams every subsequent record as one JSON line to w. A nil w
+// detaches the sink. The first write/encode error is retained (Err) and
+// further sink writes are skipped.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w = w
+	t.err = nil
+}
+
+// Err returns the first sink error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is an open timed region; End closes it. The zero Span is a no-op.
+type Span struct {
+	t      *Tracer
+	name   string
+	start  time.Time
+	fields map[string]any
+}
+
+// Begin opens a span named name with optional alternating key, value
+// attribute pairs.
+func (t *Tracer) Begin(name string, kv ...any) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now(), fields: kvMap(kv)}
+}
+
+// End closes the span, merging optional extra alternating key, value
+// pairs into its attributes, and records it.
+func (s Span) End(kv ...any) {
+	if s.t == nil {
+		return
+	}
+	fields := s.fields
+	if extra := kvMap(kv); extra != nil {
+		if fields == nil {
+			fields = extra
+		} else {
+			for k, v := range extra {
+				fields[k] = v
+			}
+		}
+	}
+	s.t.emit(Record{
+		TimeUnixNano: s.start.UnixNano(),
+		Type:         "span",
+		Name:         s.name,
+		DurationNS:   time.Since(s.start).Nanoseconds(),
+		Fields:       fields,
+	})
+}
+
+// Event records an instantaneous named event with alternating key, value
+// attribute pairs.
+func (t *Tracer) Event(name string, kv ...any) {
+	if t == nil {
+		return
+	}
+	t.emit(Record{Type: "event", Name: name, Fields: kvMap(kv)})
+}
+
+// emit stamps (if unstamped), rings and streams one record.
+func (t *Tracer) emit(r Record) {
+	if r.TimeUnixNano == 0 {
+		r.TimeUnixNano = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = r
+	t.next = (t.next + 1) % len(t.ring)
+	if t.next == 0 {
+		t.full = true
+	}
+	if t.w == nil || t.err != nil {
+		if t.w == nil {
+			return
+		}
+		t.drop++
+		return
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		t.err = fmt.Errorf("telemetry: marshal record: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := t.w.Write(line); err != nil {
+		t.err = fmt.Errorf("telemetry: sink write: %w", err)
+	}
+}
+
+// Records returns the retained records, oldest first.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Record(nil), t.ring[:t.next]...)
+	}
+	out := make([]Record, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many records were not streamed because the sink had
+// already failed.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drop
+}
+
+// kvMap folds alternating key, value pairs into a map (nil for none).
+// Non-string keys are stringified rather than dropped, so a malformed
+// call site still leaves a visible trace.
+func kvMap(kv []any) map[string]any {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]any, (len(kv)+1)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		m[k] = kv[i+1]
+	}
+	if len(kv)%2 != 0 {
+		m["_odd"] = kv[len(kv)-1]
+	}
+	return m
+}

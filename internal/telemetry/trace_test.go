@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpanAndEventJSONL(t *testing.T) {
+	tel := New()
+	var buf bytes.Buffer
+	tel.SetSink(&buf)
+
+	sp := tel.Begin("round", "round", 1)
+	sp.End("loss", 0.5)
+	tel.Event("migration", "model", 3, "from", 0, "to", 7)
+	tel.Counter("bytes").Add(42)
+	tel.EmitSnapshot()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var span, event, snap Record
+	for i, dst := range []*Record{&span, &event, &snap} {
+		if err := json.Unmarshal([]byte(lines[i]), dst); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+	}
+	if span.Type != "span" || span.Name != "round" || span.DurationNS < 0 {
+		t.Fatalf("span record %+v", span)
+	}
+	if span.Fields["round"] != float64(1) || span.Fields["loss"] != 0.5 {
+		t.Fatalf("span fields %v", span.Fields)
+	}
+	if span.TimeUnixNano == 0 {
+		t.Fatal("span unstamped")
+	}
+	if event.Type != "event" || event.Name != "migration" || event.Fields["to"] != float64(7) {
+		t.Fatalf("event record %+v", event)
+	}
+	if snap.Type != "snapshot" {
+		t.Fatalf("snapshot record %+v", snap)
+	}
+	counters, ok := snap.Fields["counters"].(map[string]any)
+	if !ok || counters["bytes"] != float64(42) {
+		t.Fatalf("snapshot counters %v", snap.Fields["counters"])
+	}
+	if err := tel.Tracer().Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+}
+
+func TestRingBufferWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Event("e", "i", i)
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	// Oldest-first: events 6, 7, 8, 9.
+	for j, r := range recs {
+		if got := r.Fields["i"].(int); got != 6+j {
+			t.Fatalf("ring order %v", recs)
+		}
+	}
+	// Before wrapping, Records returns only what was recorded.
+	tr2 := NewTracer(8)
+	tr2.Event("a")
+	tr2.Event("b")
+	if got := tr2.Records(); len(got) != 2 || got[0].Name != "a" {
+		t.Fatalf("partial ring %v", got)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestSinkErrorSticksAndDrops(t *testing.T) {
+	tr := NewTracer(4)
+	fw := &failWriter{}
+	tr.SetSink(fw)
+	tr.Event("one")
+	tr.Event("two")
+	tr.Event("three")
+	if tr.Err() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	if fw.n != 1 {
+		t.Fatalf("sink written %d times after error, want 1", fw.n)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	// Ring still records everything.
+	if got := len(tr.Records()); got != 3 {
+		t.Fatalf("ring holds %d, want 3", got)
+	}
+	// Reattaching a good sink clears the error.
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	tr.Event("four")
+	if tr.Err() != nil || buf.Len() == 0 {
+		t.Fatal("sink not recovered after SetSink")
+	}
+}
+
+func TestKVMapShapes(t *testing.T) {
+	if kvMap(nil) != nil {
+		t.Fatal("empty kv not nil")
+	}
+	m := kvMap([]any{"a", 1, 2, "b", "odd"})
+	if m["a"] != 1 {
+		t.Fatalf("kv map %v", m)
+	}
+	if m["2"] != "b" { // non-string key stringified
+		t.Fatalf("kv map %v", m)
+	}
+	if m["_odd"] != "odd" {
+		t.Fatalf("kv map %v", m)
+	}
+}

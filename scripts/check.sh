@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# check.sh — the repo's pre-commit gate: formatting, vet, build, and the
+# full test suite under the race detector.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "check.sh: all checks passed"
