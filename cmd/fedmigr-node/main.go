@@ -57,7 +57,10 @@ func main() {
 		perClass  = flag.Int("perclass", 20, "synthetic samples per class")
 		noise     = flag.Float64("noise", 1.2, "synthetic within-class noise")
 		seed      = flag.Int64("seed", 3, "shared deterministic seed")
-		timeout   = flag.Duration("timeout", 60*time.Second, "network operation timeout")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-frame I/O timeout (unresponsive peers are declared dead)")
+		retries   = flag.Int("dial-retries", 3, "client: dial re-attempts with exponential backoff (-1 disables)")
+		backoff   = flag.Duration("retry-backoff", 50*time.Millisecond, "client: base backoff before the first dial retry")
+		minAlive  = flag.Int("min-clients", 1, "server: quorum — abort when fewer clients remain alive")
 		tracePath = flag.String("trace", "", "write JSONL telemetry records to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address")
 	)
@@ -91,7 +94,8 @@ func main() {
 		}
 		srv, err := fednet.NewServer(fednet.ServerConfig{
 			K: *clients, Rounds: *rounds, AggEvery: *agg, Tau: *tau,
-			BatchSize: *batch, LR: *lr, Timeout: *timeout, Telemetry: tel,
+			BatchSize: *batch, LR: *lr, IOTimeout: *timeout,
+			MinClients: *minAlive, Telemetry: tel,
 		}, factory, mig)
 		if err != nil {
 			fatal(err)
@@ -110,6 +114,10 @@ func main() {
 		for r, l := range srv.History {
 			fmt.Printf("  round %d: %.4f\n", r+1, l)
 		}
+		if st := srv.Stats(); st.DeadClients+st.Reroutes+st.LostModels+st.PartialRounds > 0 {
+			fmt.Printf("faults handled: dead=%d reroutes=%d lost=%d partial_rounds=%d\n",
+				st.DeadClients, st.Reroutes, st.LostModels, st.PartialRounds)
+		}
 
 	case "client":
 		if *shard < 0 || *shard >= *shards {
@@ -125,7 +133,8 @@ func main() {
 			cfgListen = *listen
 		}
 		c, err := fednet.NewClient(fednet.ClientConfig{
-			ServerAddr: *server, ListenAddr: cfgListen, Timeout: *timeout, Telemetry: tel,
+			ServerAddr: *server, ListenAddr: cfgListen, IOTimeout: *timeout,
+			DialRetries: *retries, RetryBackoff: *backoff, Telemetry: tel,
 		}, parts[*shard], factory)
 		if err != nil {
 			fatal(err)

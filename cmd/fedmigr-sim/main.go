@@ -19,10 +19,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	fedmigr "fedmigr"
 	"fedmigr/internal/checkpoint"
+	"fedmigr/internal/core"
+	"fedmigr/internal/faults"
+	"fedmigr/internal/nn"
 	"fedmigr/internal/telemetry"
 )
 
@@ -52,6 +56,14 @@ func main() {
 		csvPath   = flag.String("csv", "", "write the evaluation history to this CSV file")
 		tracePath = flag.String("trace", "", "write JSONL telemetry records to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address")
+
+		crashSpec    = flag.String("crash", "", "fault injection: permanent crashes as client@epoch[,client@epoch...]")
+		outageSpec   = flag.String("outage", "", "fault injection: transient outages as client:from-to[,...] (epochs, to exclusive)")
+		straggleSpec = flag.String("straggle", "", "fault injection: stragglers as clientxfactor[,...] e.g. 2x3.5")
+
+		ckptEvery = flag.Int("checkpoint-every", 0, "save a resumable checkpoint every N evaluations (0 = off)")
+		ckptDir   = flag.String("checkpoint-dir", "checkpoints/sim", "directory for -checkpoint-every / -resume state")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
 	)
 	flag.Parse()
 
@@ -81,6 +93,11 @@ func main() {
 			fmt.Printf("debug surface on http://%s/ (metrics, trace, pprof)\n", *debugAddr)
 		}
 	}
+	plan, err := buildFaultPlan(*seed, *crashSpec, *outageSpec, *straggleSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	o := fedmigr.Options{
 		Scheme:          sk,
 		Dataset:         fedmigr.Dataset(*dataset),
@@ -103,15 +120,78 @@ func main() {
 		PrivacyEpsilon:  *epsilon,
 		Seed:            *seed,
 		Telemetry:       tel,
+		Faults:          plan,
 	}
-	res, err := fedmigr.Run(o)
+
+	// Resume: read the prior history first so the remaining epoch budget is
+	// known before the simulation is assembled.
+	var prior []core.RoundMetrics
+	if *resume {
+		f, err := os.Open(*ckptDir + "/" + checkpoint.RunStateMetrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+		prior, err = checkpoint.ReadMetricsCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	epochOff, roundOff := 0, 0
+	if len(prior) > 0 {
+		last := prior[len(prior)-1]
+		epochOff, roundOff = last.Epoch, last.Round
+		if epochOff >= o.Epochs {
+			fmt.Printf("checkpoint already covers %d epochs (asked for %d); nothing to do\n", epochOff, o.Epochs)
+			return
+		}
+		o.Epochs -= epochOff
+		fmt.Printf("resuming from %s at epoch %d (%d epochs remain)\n", *ckptDir, epochOff, o.Epochs)
+	}
+	sim, err := fedmigr.New(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *resume {
+		if err := checkpoint.LoadModel(*ckptDir+"/"+checkpoint.RunStateModel, sim.Trainer.GlobalModel()); err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *ckptEvery > 0 {
+		var recorded []core.RoundMetrics
+		sim.Trainer.SetRoundHook(func(rm core.RoundMetrics, g *nn.Sequential) {
+			rm.Epoch += epochOff
+			rm.Round += roundOff
+			recorded = append(recorded, rm)
+			if len(recorded)%*ckptEvery != 0 {
+				return
+			}
+			if err := checkpoint.SaveRunState(*ckptDir, g, append(append([]core.RoundMetrics{}, prior...), recorded...)); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			}
+		})
+	}
+	res := sim.Run()
+	combined := append([]core.RoundMetrics{}, prior...)
+	for _, m := range res.History {
+		m.Epoch += epochOff
+		m.Round += roundOff
+		combined = append(combined, m)
+	}
+	if *ckptEvery > 0 {
+		if err := checkpoint.SaveRunState(*ckptDir, sim.Trainer.GlobalModel(), combined); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("checkpoint saved to %s\n", *ckptDir)
+		}
+	}
 	if !*quiet {
 		fmt.Printf("%-7s %-7s %-9s %-9s %-11s %-11s\n", "epoch", "round", "loss", "acc", "traffic", "wall")
-		for _, m := range res.History {
+		for _, m := range combined {
 			fmt.Printf("%-7d %-7d %-9.4f %-9.4f %-11s %-11s\n",
 				m.Epoch, m.Round, m.TrainLoss, m.TestAcc,
 				fmt.Sprintf("%.2fMB", float64(m.Snapshot.TotalBytes)/1e6),
@@ -132,7 +212,7 @@ func main() {
 		fmt.Println("stopped on budget exhaustion")
 	}
 	if *csvPath != "" {
-		if err := checkpoint.SaveMetricsCSV(*csvPath, res.History); err != nil {
+		if err := checkpoint.SaveMetricsCSV(*csvPath, combined); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -141,6 +221,82 @@ func main() {
 	if *tracePath != "" {
 		fmt.Printf("telemetry trace written to %s\n", *tracePath)
 	}
+}
+
+// buildFaultPlan assembles a faults.Plan from the -crash / -outage /
+// -straggle flag grammars; all empty returns a nil plan (faults off).
+func buildFaultPlan(seed int64, crash, outage, straggle string) (*faults.Plan, error) {
+	if crash == "" && outage == "" && straggle == "" {
+		return nil, nil
+	}
+	p := faults.NewPlan(seed)
+	for _, spec := range splitSpecs(crash) {
+		c, e, err := parsePair(spec, "@")
+		if err != nil {
+			return nil, fmt.Errorf("-crash %q: want client@epoch: %v", spec, err)
+		}
+		p.CrashAt(c, e)
+	}
+	for _, spec := range splitSpecs(outage) {
+		i := strings.IndexByte(spec, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("-outage %q: want client:from-to", spec)
+		}
+		c, err := strconv.Atoi(spec[:i])
+		if err != nil {
+			return nil, fmt.Errorf("-outage %q: bad client: %v", spec, err)
+		}
+		from, to, err := parsePair(spec[i+1:], "-")
+		if err != nil {
+			return nil, fmt.Errorf("-outage %q: want client:from-to: %v", spec, err)
+		}
+		p.Outage(c, from, to)
+	}
+	for _, spec := range splitSpecs(straggle) {
+		i := strings.IndexByte(spec, 'x')
+		if i < 0 {
+			return nil, fmt.Errorf("-straggle %q: want clientxfactor (e.g. 2x3.5)", spec)
+		}
+		c, err := strconv.Atoi(spec[:i])
+		if err != nil {
+			return nil, fmt.Errorf("-straggle %q: bad client: %v", spec, err)
+		}
+		f, err := strconv.ParseFloat(spec[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("-straggle %q: bad factor: %v", spec, err)
+		}
+		p.Straggler(c, f)
+	}
+	return p, nil
+}
+
+func splitSpecs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parsePair(s, sep string) (int, int, error) {
+	i := strings.Index(s, sep)
+	if i < 0 {
+		return 0, 0, fmt.Errorf("missing %q", sep)
+	}
+	a, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(s[i+len(sep):])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
 }
 
 func parseScheme(s string) (fedmigr.Scheme, error) {

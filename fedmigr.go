@@ -27,6 +27,7 @@ import (
 	"fedmigr/internal/data"
 	"fedmigr/internal/drl"
 	"fedmigr/internal/edgenet"
+	"fedmigr/internal/faults"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/privacy"
 	"fedmigr/internal/telemetry"
@@ -157,6 +158,11 @@ type Options struct {
 	// See README.md "Observability".
 	Telemetry *telemetry.Telemetry
 
+	// Faults, when non-nil, is a deterministic fault schedule replayed
+	// during the run: scheduled crashes, transient outages, and straggler
+	// slow-downs. See internal/faults and DESIGN.md "Fault tolerance".
+	Faults *faults.Plan
+
 	Seed int64
 }
 
@@ -281,6 +287,7 @@ func New(o Options) (*Simulation, error) {
 		BandwidthBudget: o.BandwidthBudget,
 		TimeBudget:      o.TimeBudget,
 		Privacy:         mech,
+		Faults:          o.Faults,
 		Seed:            o.Seed,
 	}
 	tr, err := core.NewTrainer(cfg, clients, topo, cost, test, factory, mig)
@@ -338,6 +345,7 @@ func NewWithMigrator(o Options, m core.Migrator) (*Simulation, error) {
 		BandwidthBudget: o.BandwidthBudget,
 		TimeBudget:      o.TimeBudget,
 		Privacy:         mech,
+		Faults:          o.Faults,
 		Seed:            o.Seed,
 	}
 	tr, err := core.NewTrainer(cfg, sim.Clients, sim.Topology, sim.Cost, sim.Test, factoryOf(sim), m)

@@ -95,6 +95,43 @@ func SaveMetricsCSV(path string, history []core.RoundMetrics) error {
 	return WriteMetricsCSV(f, history)
 }
 
+// Run-state checkpoint layout: a directory holding the global model and
+// the metrics history, written atomically enough to survive a crash
+// between the two files (the model is written first; a stale metrics file
+// only costs re-running already-recorded epochs).
+const (
+	// RunStateModel is the global-model file inside a run-state directory.
+	RunStateModel = "model.bin"
+	// RunStateMetrics is the metrics-history file inside a run-state
+	// directory.
+	RunStateMetrics = "metrics.csv"
+)
+
+// SaveRunState persists a resumable snapshot of a run — the current
+// global model plus the evaluation history so far — into dir.
+func SaveRunState(dir string, model *nn.Sequential, history []core.RoundMetrics) error {
+	if err := SaveModel(filepath.Join(dir, RunStateModel), model); err != nil {
+		return err
+	}
+	return SaveMetricsCSV(filepath.Join(dir, RunStateMetrics), history)
+}
+
+// LoadRunState restores a snapshot written by SaveRunState: the model
+// parameters are loaded into model (whose architecture must match) and
+// the recorded history is returned. A missing directory or model file is
+// reported via os.IsNotExist-compatible errors.
+func LoadRunState(dir string, model *nn.Sequential) ([]core.RoundMetrics, error) {
+	if err := LoadModel(filepath.Join(dir, RunStateModel), model); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, RunStateMetrics))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadMetricsCSV(f)
+}
+
 // ReadMetricsCSV parses a CSV produced by WriteMetricsCSV back into the
 // epoch/loss/accuracy triples (resource columns are not reconstructed into
 // snapshots; they are reporting-only).

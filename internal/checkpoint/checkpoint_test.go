@@ -89,6 +89,35 @@ func TestSaveMetricsCSVFile(t *testing.T) {
 	}
 }
 
+func TestRunStateRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	m := nn.NewMLP(tensor.NewRNG(3), 4, 8, 3)
+	if err := SaveRunState(dir, m, sampleHistory()); err != nil {
+		t.Fatal(err)
+	}
+	m2 := nn.NewMLP(tensor.NewRNG(4), 4, 8, 3)
+	hist, err := LoadRunState(dir, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[1].Epoch != 2 || hist[1].TestAcc != 0.55 {
+		t.Fatalf("history round trip %+v", hist)
+	}
+	a, b := m.ParamVector().Data(), m2.ParamVector().Data()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("model round trip mismatch")
+		}
+	}
+}
+
+func TestLoadRunStateMissing(t *testing.T) {
+	m := nn.NewMLP(tensor.NewRNG(1), 2, 2)
+	if _, err := LoadRunState(filepath.Join(t.TempDir(), "nope"), m); err == nil {
+		t.Fatal("expected error for missing run state")
+	}
+}
+
 func TestReadMetricsCSVErrors(t *testing.T) {
 	if _, err := ReadMetricsCSV(strings.NewReader("")); err == nil {
 		t.Fatal("empty csv must error")

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fedmigr/internal/edgenet"
+	"fedmigr/internal/faults"
+	"fedmigr/internal/telemetry"
+)
+
+// TestFaultPlanDrivesTrainer replays a plan with a crash, a transient
+// outage and a straggler through a full simulator run: the run must finish
+// cleanly, register one transition per scheduled liveness flip, and scale
+// the straggler's compute cost.
+func TestFaultPlanDrivesTrainer(t *testing.T) {
+	clients, topo, test, factory := buildSetup(t, 4, 2, false, 21)
+	plan := faults.NewPlan(21).
+		CrashAt(2, 3).    // one transition: down at epoch 3, forever
+		Outage(1, 2, 4).  // two transitions: down at 2, back at 4
+		Straggler(0, 4.5) // no transition, only slower compute
+	cost := edgenet.DefaultCostModel()
+	cfg := Config{Scheme: FedAvg, MaxEpochs: 8, AggEvery: 1, Seed: 21, Faults: plan}
+	tr, err := NewTrainer(cfg, clients, topo, cost, test, factory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	tr.SetTelemetry(tel)
+	res := tr.Run()
+	if res.Epochs != 8 {
+		t.Fatalf("faulty run stopped at epoch %d", res.Epochs)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("faulty run produced NaN loss")
+	}
+	if got := tel.Counter("core_fault_transitions_total").Value(); got != 3 {
+		t.Fatalf("fault transitions = %d, want 3 (crash + outage down/up)", got)
+	}
+	if f := cost.ComputeScale(0); f != 4.5 {
+		t.Fatalf("straggler factor not applied: %v", f)
+	}
+	if f := cost.ComputeScale(1); f != 1 {
+		t.Fatalf("non-straggler scaled: %v", f)
+	}
+}
+
+// TestFaultPlanComposesWithManualChurn checks clients the plan never
+// mentions keep their manually-set activity: applyFaults only drives the
+// clients it schedules.
+func TestFaultPlanComposesWithManualChurn(t *testing.T) {
+	clients, topo, test, factory := buildSetup(t, 4, 2, false, 22)
+	plan := faults.NewPlan(22).CrashAt(1, 2)
+	cfg := Config{Scheme: FedAvg, MaxEpochs: 4, AggEvery: 1, Seed: 22, Faults: plan}
+	tr, err := NewTrainer(cfg, clients, topo, nil, test, factory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetActive(3, false) // manual departure, not in the plan
+	res := tr.Run()
+	if res.Epochs != 4 {
+		t.Fatalf("run stopped at epoch %d", res.Epochs)
+	}
+	// Model 3 must have stayed parked at its inactive home the whole run.
+	if loc := tr.Locations()[3]; loc != 3 {
+		t.Fatalf("manually-departed client's model moved to %d", loc)
+	}
+}
+
+// TestFaultRunDeterministic: two identical fault-injected runs agree
+// bit-for-bit, the property the whole faults package is built around.
+func TestFaultRunDeterministic(t *testing.T) {
+	run := func() *Result {
+		clients, topo, test, factory := buildSetup(t, 4, 2, false, 23)
+		plan := faults.NewPlan(23).CrashAt(3, 4).Outage(0, 1, 3).Straggler(2, 2)
+		cfg := Config{Scheme: FedAvg, MaxEpochs: 6, AggEvery: 1, Seed: 23, Faults: plan}
+		tr, err := NewTrainer(cfg, clients, topo, edgenet.DefaultCostModel(), test, factory, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Run()
+	}
+	a, b := run(), run()
+	if a.FinalLoss != b.FinalLoss || a.FinalAcc != b.FinalAcc {
+		t.Fatalf("non-deterministic under faults: %v/%v vs %v/%v",
+			a.FinalLoss, a.FinalAcc, b.FinalLoss, b.FinalAcc)
+	}
+	if a.Snapshot != b.Snapshot {
+		t.Fatalf("accounting non-deterministic under faults: %+v vs %+v", a.Snapshot, b.Snapshot)
+	}
+}

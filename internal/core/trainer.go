@@ -48,6 +48,7 @@ type Trainer struct {
 	history   []RoundMetrics
 	pending   *pendingFeedback
 	modelSize int64
+	roundHook func(RoundMetrics, *nn.Sequential)
 
 	// Telemetry (nil and allocation-free unless SetTelemetry installs it).
 	tel         *telemetry.Telemetry
@@ -57,6 +58,7 @@ type Trainer struct {
 	mEpochs     *telemetry.Counter
 	mRounds     *telemetry.Counter
 	mMigrations *telemetry.Counter
+	mFaults     *telemetry.Counter
 }
 
 type pendingFeedback struct {
@@ -121,6 +123,13 @@ func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edg
 		t.effDist[m] = t.clientDist[m]
 		t.effSeen[m] = float64(clients[m].Data.Len())
 	}
+	// Straggler injection: the plan's slow-down factors scale the affected
+	// clients' simulated compute for the whole run.
+	for c, f := range cfg.Faults.Stragglers() {
+		if c >= 0 && c < k {
+			cost.SetComputeScale(c, f)
+		}
+	}
 	return t, nil
 }
 
@@ -139,6 +148,44 @@ func (t *Trainer) SetTelemetry(tel *telemetry.Telemetry) {
 	t.mEpochs = tel.Counter("core_epochs_total")
 	t.mRounds = tel.Counter("core_rounds_total")
 	t.mMigrations = tel.Counter("core_migrations_total")
+	t.mFaults = tel.Counter("core_fault_transitions_total")
+}
+
+// SetRoundHook installs fn, invoked after every recorded evaluation with
+// the fresh metrics record and the current global model — the
+// checkpointing hook periodic persistence builds on.
+func (t *Trainer) SetRoundHook(fn func(RoundMetrics, *nn.Sequential)) { t.roundHook = fn }
+
+// applyFaults replays the fault plan for the current epoch: clients whose
+// scheduled state (crashed, in an outage window, or recovered) differs
+// from their current active flag are flipped, with a telemetry event per
+// transition. Clients the plan never mentions keep whatever SetActive set.
+func (t *Trainer) applyFaults() {
+	p := t.cfg.Faults
+	if p == nil {
+		return
+	}
+	for c := range t.active {
+		if !p.Mentions(c) {
+			continue
+		}
+		want := p.ActiveAt(c, t.epoch)
+		if t.active[c] == want {
+			continue
+		}
+		t.active[c] = want
+		t.mFaults.Inc()
+		if t.tel != nil {
+			kind := "recover"
+			if !want {
+				kind = "down"
+				if e, ok := p.CrashEpoch(c); ok && t.epoch >= e {
+					kind = "crash"
+				}
+			}
+			t.tel.Event("fault", "client", c, "epoch", t.epoch, "kind", kind)
+		}
+	}
 }
 
 // recordRound appends one evaluation record to the history and emits the
@@ -158,6 +205,9 @@ func (t *Trainer) recordRound(loss, acc float64) {
 			"total_bytes", snap.TotalBytes, "global_bytes", snap.GlobalBytes,
 			"c2s_bytes", snap.C2SBytes, "wall_seconds", snap.WallSeconds,
 			"compute_seconds", snap.ComputeSecs)
+	}
+	if t.roundHook != nil {
+		t.roundHook(t.history[len(t.history)-1], t.global)
 	}
 }
 
@@ -583,6 +633,7 @@ func (t *Trainer) Run() *Result {
 	lastAcc := 0.0
 
 	// Initial distribution of the (random) global model.
+	t.applyFaults()
 	sp := t.tel.Begin("distribution")
 	t.distribute()
 	sp.End("epoch", t.epoch)
@@ -595,6 +646,7 @@ func (t *Trainer) Run() *Result {
 		// τ local epochs form one event's training phase.
 		var loss float64
 		for i := 0; i < cfg.Tau && t.epoch < cfg.MaxEpochs; i++ {
+			t.applyFaults()
 			loss = t.localEpoch()
 			t.prevLoss, t.lastLoss = t.lastLoss, loss
 			if math.IsInf(t.prevLoss, 1) {

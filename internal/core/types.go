@@ -20,6 +20,7 @@ import (
 
 	"fedmigr/internal/data"
 	"fedmigr/internal/edgenet"
+	"fedmigr/internal/faults"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/privacy"
 )
@@ -113,6 +114,13 @@ type Config struct {
 	// Privacy, when non-nil and enabled, sanitizes every model that leaves
 	// a client (Sec. III-E2).
 	Privacy *privacy.Mechanism
+
+	// Faults, when non-nil, is a deterministic fault schedule the trainer
+	// replays: scheduled crashes and transient outages drive the client
+	// active mask epoch by epoch, and straggler factors slow the affected
+	// clients' simulated compute through the cost model. Clients the plan
+	// never mentions are untouched, so manual SetActive churn composes.
+	Faults *faults.Plan
 
 	Seed int64
 }

@@ -150,6 +150,10 @@ type CostModel struct {
 	// bandwidth, modelling time-varying wireless conditions. 0 disables.
 	Jitter float64
 
+	// computeScale multiplies specific clients' compute time (straggler
+	// injection); configure via SetComputeScale before the run starts.
+	computeScale map[int]float64
+
 	// C2COverride optionally pins the bandwidth of specific client pairs,
 	// keyed by PairKey(i, j) — used to create fast/moderate/slow C2C links
 	// for Fig. 8. Overrides win over the kind-based defaults.
@@ -236,8 +240,29 @@ func (c *CostModel) TransferTime(i, j int, kind LinkKind, bytes int64) float64 {
 	return float64(bytes)/bw + c.latency(kind)
 }
 
+// SetComputeScale makes client k's local computation factor× slower
+// (straggler injection; factor < 1 is clamped to 1). Not safe to call
+// concurrently with ComputeTime — configure before the run starts.
+func (c *CostModel) SetComputeScale(k int, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	if c.computeScale == nil {
+		c.computeScale = map[int]float64{}
+	}
+	c.computeScale[k] = factor
+}
+
+// ComputeScale returns client k's straggler multiplier (1 by default).
+func (c *CostModel) ComputeScale(k int) float64 {
+	if f, ok := c.computeScale[k]; ok {
+		return f
+	}
+	return 1
+}
+
 // ComputeTime returns the seconds client k needs to process `samples`
-// training samples once.
+// training samples once, including any straggler slow-down.
 func (c *CostModel) ComputeTime(k int, samples int) float64 {
 	rate := c.DefaultComputeRate
 	if c.ComputeRate != nil && k < len(c.ComputeRate) && c.ComputeRate[k] > 0 {
@@ -246,5 +271,5 @@ func (c *CostModel) ComputeTime(k int, samples int) float64 {
 	if rate <= 0 {
 		panic(fmt.Sprintf("edgenet: non-positive compute rate for client %d", k))
 	}
-	return float64(samples) / rate
+	return float64(samples) / rate * c.ComputeScale(k)
 }

@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error surfaced by a connection killed by fault
+// injection (wrapped in the net.OpError-style message of the wrapper).
+var ErrInjected = errors.New("faults: injected link failure")
+
+// LinkBehavior describes wire-level misbehavior for one link. All fields
+// are deterministic — drops fire on operation counts and severs on byte
+// counts, never on randomness or timers — so a faulty run replays exactly.
+type LinkBehavior struct {
+	// Delay is added before every Read and Write (models a slow link).
+	Delay time.Duration
+	// DropEveryOps, when > 0, fails every Nth Read/Write and kills the
+	// connection (models packet loss surfacing as a reset).
+	DropEveryOps int
+	// SeverAfterBytes, when > 0, kills the connection once that many bytes
+	// (reads + writes combined) have crossed it (models a mid-transfer cut).
+	SeverAfterBytes int64
+}
+
+// zero reports whether the behavior injects nothing.
+func (lb LinkBehavior) zero() bool {
+	return lb.Delay == 0 && lb.DropEveryOps == 0 && lb.SeverAfterBytes == 0
+}
+
+// WrapConn wraps c with the given behavior. A zero behavior returns c
+// unchanged.
+func WrapConn(c net.Conn, lb LinkBehavior) net.Conn {
+	if lb.zero() {
+		return c
+	}
+	return &faultConn{Conn: c, lb: lb}
+}
+
+// faultConn injects LinkBehavior into an underlying net.Conn.
+type faultConn struct {
+	net.Conn
+	lb LinkBehavior
+
+	mu    sync.Mutex
+	ops   int
+	bytes int64
+	dead  bool
+}
+
+// step advances the deterministic counters and reports whether the
+// operation must fail before touching the wire.
+func (f *faultConn) step() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return ErrInjected
+	}
+	f.ops++
+	if f.lb.DropEveryOps > 0 && f.ops%f.lb.DropEveryOps == 0 {
+		f.dead = true
+		_ = f.Conn.Close()
+		return ErrInjected
+	}
+	return nil
+}
+
+// account records transferred bytes and severs the link once the byte
+// budget is spent (the crossing operation itself succeeds).
+func (f *faultConn) account(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bytes += int64(n)
+	if f.lb.SeverAfterBytes > 0 && f.bytes >= f.lb.SeverAfterBytes && !f.dead {
+		f.dead = true
+		_ = f.Conn.Close()
+	}
+}
+
+func (f *faultConn) Read(p []byte) (int, error) {
+	if f.lb.Delay > 0 {
+		time.Sleep(f.lb.Delay)
+	}
+	if err := f.step(); err != nil {
+		return 0, err
+	}
+	n, err := f.Conn.Read(p)
+	f.account(n)
+	return n, err
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	if f.lb.Delay > 0 {
+		time.Sleep(f.lb.Delay)
+	}
+	if err := f.step(); err != nil {
+		return 0, err
+	}
+	n, err := f.Conn.Write(p)
+	f.account(n)
+	return n, err
+}
+
+func (f *faultConn) Close() error {
+	f.mu.Lock()
+	f.dead = true
+	f.mu.Unlock()
+	return f.Conn.Close()
+}

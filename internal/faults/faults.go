@@ -1,0 +1,279 @@
+// Package faults provides deterministic fault injection for federated
+// runs: a seeded Plan describing client crashes, transient outages,
+// straggler slow-downs and flaky/severed client-to-client links, plus a
+// net.Conn wrapper that injects delays, drops and severs on the wire.
+//
+// The same Plan drives both runtimes. The simulator (internal/core)
+// consumes it epoch-by-epoch through ActiveAt and Stragglers; the TCP
+// runtime (internal/fednet) consumes the per-node projection returned by
+// NodeFaults. Everything is deterministic: the schedule is a pure function
+// of the plan, never of wall-clock time or scheduling order, so
+// fault-injection tests are reproducible.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrCrashed is returned by a node that terminated itself according to its
+// fault plan.
+var ErrCrashed = errors.New("faults: node crashed by plan")
+
+// window is a half-open epoch interval [From, To).
+type window struct{ From, To int }
+
+// Plan is a seeded, deterministic fault schedule for a K-client run.
+// The zero value (and a nil *Plan) injects nothing. Builder methods
+// mutate and return the plan so schedules read as one chain:
+//
+//	plan := faults.NewPlan(7).
+//	    CrashAt(5, 12).              // client 5 dies at epoch 12
+//	    Outage(2, 4, 8).             // client 2 offline for epochs [4,8)
+//	    Straggler(3, 4).             // client 3 computes 4× slower
+//	    SeverC2C(1, 2)               // the 1↔2 link refuses transfers
+type Plan struct {
+	// Seed names the schedule; it is recorded so experiment logs can
+	// reproduce the exact fault pattern.
+	Seed int64
+
+	crashes map[int]int      // client → first dead epoch
+	outages map[int][]window // client → transient offline windows
+	slow    map[int]float64  // client → compute slow-down factor (≥ 1)
+	severed map[[2]int]int   // unordered pair → first severed epoch
+	wire    map[[2]int]LinkBehavior
+}
+
+// NewPlan returns an empty plan carrying the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		Seed:    seed,
+		crashes: map[int]int{},
+		outages: map[int][]window{},
+		slow:    map[int]float64{},
+		severed: map[[2]int]int{},
+		wire:    map[[2]int]LinkBehavior{},
+	}
+}
+
+// pairKey normalizes an unordered client pair.
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// CrashAt schedules a permanent crash: client is down for every epoch ≥
+// epoch.
+func (p *Plan) CrashAt(client, epoch int) *Plan {
+	if old, ok := p.crashes[client]; !ok || epoch < old {
+		p.crashes[client] = epoch
+	}
+	return p
+}
+
+// Outage schedules a transient disconnect: client is down for epochs in
+// [from, to) and returns afterwards.
+func (p *Plan) Outage(client, from, to int) *Plan {
+	if to > from {
+		p.outages[client] = append(p.outages[client], window{from, to})
+		sort.Slice(p.outages[client], func(i, j int) bool {
+			return p.outages[client][i].From < p.outages[client][j].From
+		})
+	}
+	return p
+}
+
+// Straggler makes a client's local computation factor× slower (factor ≥ 1;
+// smaller values are clamped to 1).
+func (p *Plan) Straggler(client int, factor float64) *Plan {
+	if factor < 1 {
+		factor = 1
+	}
+	p.slow[client] = factor
+	return p
+}
+
+// SeverC2C makes the client-to-client link between a and b unreachable
+// from the start of the run (both directions).
+func (p *Plan) SeverC2C(a, b int) *Plan { return p.SeverC2CAt(a, b, 0) }
+
+// SeverC2CAt severs the a↔b link from the given epoch onwards.
+func (p *Plan) SeverC2CAt(a, b, epoch int) *Plan {
+	key := pairKey(a, b)
+	if old, ok := p.severed[key]; !ok || epoch < old {
+		p.severed[key] = epoch
+	}
+	return p
+}
+
+// FlakyLink installs wire-level behavior (delay / drop / sever-after) on
+// every connection between a and b.
+func (p *Plan) FlakyLink(a, b int, lb LinkBehavior) *Plan {
+	p.wire[pairKey(a, b)] = lb
+	return p
+}
+
+// Mentions reports whether the plan schedules any liveness fault (crash or
+// outage) for the client. Consumers use it to leave clients the plan never
+// names untouched, so manual churn composes with planned faults.
+func (p *Plan) Mentions(client int) bool {
+	if p == nil {
+		return false
+	}
+	_, crashed := p.crashes[client]
+	_, out := p.outages[client]
+	return crashed || out
+}
+
+// ActiveAt reports whether the client is up at the given epoch under this
+// plan (true for clients the plan never mentions, and for a nil plan).
+func (p *Plan) ActiveAt(client, epoch int) bool {
+	if p == nil {
+		return true
+	}
+	if e, ok := p.crashes[client]; ok && epoch >= e {
+		return false
+	}
+	for _, w := range p.outages[client] {
+		if epoch >= w.From && epoch < w.To {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashEpoch returns the client's scheduled crash epoch, if any.
+func (p *Plan) CrashEpoch(client int) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	e, ok := p.crashes[client]
+	return e, ok
+}
+
+// SlowFactor returns the client's compute slow-down (1 when unaffected).
+func (p *Plan) SlowFactor(client int) float64 {
+	if p == nil {
+		return 1
+	}
+	if f, ok := p.slow[client]; ok {
+		return f
+	}
+	return 1
+}
+
+// Stragglers returns a copy of the client → slow-down factor map.
+func (p *Plan) Stragglers() map[int]float64 {
+	out := map[int]float64{}
+	if p == nil {
+		return out
+	}
+	for c, f := range p.slow {
+		out[c] = f
+	}
+	return out
+}
+
+// C2CSevered reports whether the a↔b link is down at the given epoch.
+func (p *Plan) C2CSevered(a, b, epoch int) bool {
+	if p == nil {
+		return false
+	}
+	e, ok := p.severed[pairKey(a, b)]
+	return ok && epoch >= e
+}
+
+// String summarizes the schedule for logs.
+func (p *Plan) String() string {
+	if p == nil {
+		return "faults: none"
+	}
+	return fmt.Sprintf("faults: seed=%d crashes=%d outages=%d stragglers=%d severed=%d flaky=%d",
+		p.Seed, len(p.crashes), len(p.outages), len(p.slow), len(p.severed), len(p.wire))
+}
+
+// NodeFaults is the per-node projection of a Plan consumed by the TCP
+// runtime: everything client `id` needs to misbehave on schedule without
+// global coordination.
+type NodeFaults struct {
+	// CrashAfterEpochs, when > 0, makes the node abort the session (closing
+	// every connection) once it has completed that many local epochs.
+	CrashAfterEpochs int
+	// SeveredPeers lists client ids whose C2C link from this node is down:
+	// dialing them fails as if the route were unreachable.
+	SeveredPeers map[int]bool
+	// Wire, when non-nil, wraps every peer connection this node opens with
+	// delay/drop/sever injection.
+	Wire *LinkBehavior
+}
+
+// NodeFaults projects the plan onto one client for the TCP runtime. k is
+// the total number of clients (bounding the severed-peer scan). Returns
+// nil when the plan holds nothing for this client.
+func (p *Plan) NodeFaults(id, k int) *NodeFaults {
+	if p == nil {
+		return nil
+	}
+	nf := &NodeFaults{SeveredPeers: map[int]bool{}}
+	if e, ok := p.crashes[id]; ok && e > 0 {
+		nf.CrashAfterEpochs = e
+	}
+	for peer := 0; peer < k; peer++ {
+		if peer != id && p.C2CSevered(id, peer, 0) {
+			nf.SeveredPeers[peer] = true
+		}
+	}
+	for key, lb := range p.wire {
+		if key[0] == id || key[1] == id {
+			b := lb
+			nf.Wire = &b
+			break
+		}
+	}
+	if nf.CrashAfterEpochs == 0 && len(nf.SeveredPeers) == 0 && nf.Wire == nil {
+		return nil
+	}
+	return nf
+}
+
+// PeerDown reports whether dialing peer must fail under these node faults
+// (nil-safe).
+func (nf *NodeFaults) PeerDown(peer int) bool {
+	return nf != nil && nf.SeveredPeers[peer]
+}
+
+// CrashDue reports whether the node must crash after completing
+// epochsDone local epochs (nil-safe).
+func (nf *NodeFaults) CrashDue(epochsDone int) bool {
+	return nf != nil && nf.CrashAfterEpochs > 0 && epochsDone >= nf.CrashAfterEpochs
+}
+
+// Backoff returns the deterministic exponential-backoff-with-jitter delay
+// before retry attempt n (1-based): base·2^(n−1) plus a jitter of up to
+// half the base derived from the seed, capped at max. It is shared by
+// every retry loop so tests can reason about worst-case wait.
+func Backoff(base, max time.Duration, seed int64, attempt int) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			d = max
+			break
+		}
+	}
+	// splitmix64-style hash of (seed, attempt) → deterministic jitter.
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	z ^= z >> 31
+	jitter := time.Duration(z % uint64(base/2+1))
+	if max > 0 && d+jitter > max {
+		return max
+	}
+	return d + jitter
+}

@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPlanLiveness(t *testing.T) {
+	p := NewPlan(1).CrashAt(3, 10).Outage(1, 4, 8)
+	if !p.ActiveAt(3, 9) || p.ActiveAt(3, 10) || p.ActiveAt(3, 500) {
+		t.Fatal("crash semantics wrong")
+	}
+	if !p.ActiveAt(1, 3) || p.ActiveAt(1, 4) || p.ActiveAt(1, 7) || !p.ActiveAt(1, 8) {
+		t.Fatal("outage window semantics wrong")
+	}
+	if !p.ActiveAt(0, 100) {
+		t.Fatal("unmentioned client must stay active")
+	}
+	if !p.Mentions(3) || !p.Mentions(1) || p.Mentions(0) {
+		t.Fatal("Mentions wrong")
+	}
+	var nilPlan *Plan
+	if !nilPlan.ActiveAt(0, 0) || nilPlan.Mentions(0) || nilPlan.SlowFactor(2) != 1 {
+		t.Fatal("nil plan must inject nothing")
+	}
+}
+
+func TestPlanCrashKeepsEarliestEpoch(t *testing.T) {
+	p := NewPlan(1).CrashAt(2, 9).CrashAt(2, 5)
+	if e, ok := p.CrashEpoch(2); !ok || e != 5 {
+		t.Fatalf("crash epoch %d, want 5", e)
+	}
+}
+
+func TestPlanStragglersAndLinks(t *testing.T) {
+	p := NewPlan(2).Straggler(4, 3).Straggler(6, 0.5).SeverC2CAt(1, 2, 5)
+	if p.SlowFactor(4) != 3 {
+		t.Fatal("straggler factor lost")
+	}
+	if p.SlowFactor(6) != 1 {
+		t.Fatal("factor below 1 must clamp to 1")
+	}
+	if got := p.Stragglers(); len(got) != 2 || got[4] != 3 {
+		t.Fatalf("stragglers map %v", got)
+	}
+	if p.C2CSevered(1, 2, 4) || !p.C2CSevered(2, 1, 5) || !p.C2CSevered(1, 2, 99) {
+		t.Fatal("sever-at semantics wrong (must be symmetric and epoch-gated)")
+	}
+	if p.C2CSevered(1, 3, 10) {
+		t.Fatal("unrelated pair severed")
+	}
+}
+
+func TestNodeFaultsProjection(t *testing.T) {
+	p := NewPlan(3).CrashAt(5, 7).SeverC2C(1, 2)
+	nf := p.NodeFaults(5, 8)
+	if nf == nil || nf.CrashAfterEpochs != 7 {
+		t.Fatalf("projection for client 5: %+v", nf)
+	}
+	if !nf.CrashDue(7) || nf.CrashDue(6) {
+		t.Fatal("CrashDue threshold wrong")
+	}
+	nf1 := p.NodeFaults(1, 8)
+	if nf1 == nil || !nf1.PeerDown(2) || nf1.PeerDown(3) {
+		t.Fatalf("severed-peer projection: %+v", nf1)
+	}
+	if p.NodeFaults(0, 8) != nil {
+		t.Fatal("unaffected client must project to nil")
+	}
+	var none *NodeFaults
+	if none.PeerDown(1) || none.CrashDue(100) {
+		t.Fatal("nil NodeFaults must be inert")
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	base, max := 10*time.Millisecond, 200*time.Millisecond
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 8; attempt++ {
+		d1 := Backoff(base, max, 42, attempt)
+		d2 := Backoff(base, max, 42, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 < base || d1 > max {
+			t.Fatalf("attempt %d outside [base,max]: %v", attempt, d1)
+		}
+		if d1 < prev/2 {
+			t.Fatalf("backoff collapsed at attempt %d: %v after %v", attempt, d1, prev)
+		}
+		prev = d1
+	}
+	if Backoff(0, 0, 1, 1) <= 0 {
+		t.Fatal("zero base must default, not disable")
+	}
+}
+
+// pipePair returns both ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestWrapConnZeroBehaviorIsIdentity(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	if WrapConn(a, LinkBehavior{}) != a {
+		t.Fatal("zero behavior must return the conn unchanged")
+	}
+}
+
+func TestWrapConnDropEveryOps(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := WrapConn(a, LinkBehavior{DropEveryOps: 3})
+	go func() { // drain the peer so writes complete
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte("x")
+	if _, err := w.Write(msg); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := w.Write(msg); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, err := w.Write(msg); err == nil {
+		t.Fatal("op 3 must be dropped")
+	}
+	if _, err := w.Write(msg); err == nil {
+		t.Fatal("connection must stay dead after a drop")
+	}
+}
+
+func TestWrapConnSeverAfterBytes(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := WrapConn(a, LinkBehavior{SeverAfterBytes: 4})
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := w.Write([]byte("abcd")); err != nil {
+		t.Fatalf("crossing write must succeed: %v", err)
+	}
+	if _, err := w.Write([]byte("e")); err == nil {
+		t.Fatal("link must be severed after the byte budget")
+	}
+}
+
+func TestWrapConnDelay(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := WrapConn(a, LinkBehavior{Delay: 20 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 16)
+		_, _ = b.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := w.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+	_ = w.Close()
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after Close must fail")
+	}
+}

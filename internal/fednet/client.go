@@ -1,13 +1,16 @@
 package fednet
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"fedmigr/internal/core"
 	"fedmigr/internal/data"
+	"fedmigr/internal/faults"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/telemetry"
 )
@@ -19,8 +22,26 @@ type ClientConfig struct {
 	// ListenAddr is where this client accepts peer model transfers
 	// (default "127.0.0.1:0").
 	ListenAddr string
-	// Timeout bounds every blocking network operation (default 30s).
+	// IOTimeout bounds every blocking frame read/write. Inbound peer
+	// transfers are waited for at most IOTimeout/2, so a sender whose
+	// transfer failed cannot stall the receiver past the server's own
+	// per-phase deadline.
+	IOTimeout time.Duration
+	// Timeout is the deprecated name for IOTimeout, kept for
+	// compatibility; IOTimeout wins when both are set. Default 30s.
 	Timeout time.Duration
+	// DialRetries is the number of re-attempts after a failed dial
+	// (server registration and C2C transfers), each preceded by
+	// exponential backoff with deterministic jitter. Default 3; negative
+	// disables retries.
+	DialRetries int
+	// RetryBackoff is the base backoff before the first retry (default
+	// 50ms, doubling per attempt, capped at IOTimeout).
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects this node's share of a fault plan:
+	// scheduled crash, severed peer links, flaky wire behavior. Production
+	// nodes leave it nil.
+	Faults *faults.NodeFaults
 	// Telemetry, when non-nil, records RPC latency histograms and
 	// per-message-type byte/count metrics under role=client.
 	Telemetry *telemetry.Telemetry
@@ -30,8 +51,20 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.ListenAddr == "" {
 		c.ListenAddr = "127.0.0.1:0"
 	}
-	if c.Timeout == 0 {
-		c.Timeout = 30 * time.Second
+	if c.IOTimeout == 0 {
+		c.IOTimeout = c.Timeout
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	if c.DialRetries == 0 {
+		c.DialRetries = 3
+	}
+	if c.DialRetries < 0 {
+		c.DialRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
 	}
 	return c
 }
@@ -39,7 +72,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 // Client is a FedMigr edge node: it trains every model currently hosted on
 // its local dataset, ships completion signals to the server, executes
 // migration orders by sending models directly to peers, and uploads hosted
-// models at aggregation.
+// models at aggregation. A peer that cannot be reached makes the client
+// keep the ordered model and report the fallback to the server instead of
+// aborting the session.
 type Client struct {
 	cfg     ClientConfig
 	dataset *data.Dataset
@@ -61,11 +96,20 @@ type Client struct {
 	hosted map[int]*nn.Sequential
 	opts   map[int]*nn.SGD
 	mu     sync.Mutex
+	closed bool
+	// peers tracks live inbound transfer connections so Close unblocks a
+	// goroutine parked reading one.
+	peers map[net.Conn]struct{}
 
 	// Epochs counts local epochs run (instrumentation).
 	Epochs int
 	// Migrations counts models sent to peers (instrumentation).
 	Migrations int
+	// Retries counts dial re-attempts (instrumentation).
+	Retries int
+	// Fallbacks counts models kept locally after an undeliverable
+	// migration order (instrumentation).
+	Fallbacks int
 }
 
 // NewClient builds a node around its local dataset and the shared model
@@ -85,6 +129,7 @@ func NewClient(cfg ClientConfig, dataset *data.Dataset, factory core.ModelFactor
 		cfg: cfg, dataset: dataset, factory: factory,
 		hosted: make(map[int]*nn.Sequential),
 		opts:   make(map[int]*nn.SGD),
+		peers:  make(map[net.Conn]struct{}),
 		nm:     newNetMetrics(cfg.Telemetry, "client"),
 	}, nil
 }
@@ -92,18 +137,89 @@ func NewClient(cfg ClientConfig, dataset *data.Dataset, factory core.ModelFactor
 // ID returns the server-assigned client id (valid after Run connects).
 func (c *Client) ID() int { return c.id }
 
-// Close interrupts a running client from another goroutine: it closes the
-// server connection and the peer listener, unblocking any pending network
-// operation so Run returns promptly (with an error if mid-session).
+// Close interrupts a running client from any goroutine: it closes the
+// server connection, the peer listener and every live peer connection,
+// unblocking any goroutine parked in a frame read so Run returns promptly
+// (with an error if mid-session). Close is idempotent.
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
 	if c.conn != nil {
 		_ = c.conn.Close()
 	}
 	if c.ln != nil {
 		_ = c.ln.Close()
 	}
+	for p := range c.peers {
+		_ = p.Close()
+	}
+}
+
+// isClosed reports whether Close has been called.
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// trackPeer registers a live peer connection for Close; it reports false
+// (and closes the conn) when the client is already shut down.
+func (c *Client) trackPeer(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		_ = conn.Close()
+		return false
+	}
+	c.peers[conn] = struct{}{}
+	return true
+}
+
+// untrackPeer closes and forgets a peer connection.
+func (c *Client) untrackPeer(conn net.Conn) {
+	_ = conn.Close()
+	c.mu.Lock()
+	delete(c.peers, conn)
+	c.mu.Unlock()
+}
+
+// dialRetry dials addr with exponential backoff + jitter. peer is the
+// destination client id for C2C transfers (-1 for the server); a link the
+// fault plan severed fails every attempt without touching the network.
+func (c *Client) dialRetry(addr string, peer int) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			c.Retries++
+			c.nm.incRetry()
+			time.Sleep(faults.Backoff(c.cfg.RetryBackoff, c.cfg.IOTimeout, int64(c.id)<<8|int64(peer&0xff), attempt))
+		}
+		if c.isClosed() {
+			return nil, fmt.Errorf("fednet: client closed while dialing %s", addr)
+		}
+		if c.cfg.Faults.PeerDown(peer) {
+			lastErr = fmt.Errorf("fednet: dial %s: %w", addr, faults.ErrInjected)
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", addr, c.cfg.IOTimeout)
+		if err == nil {
+			return c.wrap(conn, peer), nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// wrap applies the fault plan's wire behavior to a peer connection.
+func (c *Client) wrap(conn net.Conn, peer int) net.Conn {
+	if peer >= 0 && c.cfg.Faults != nil && c.cfg.Faults.Wire != nil {
+		return faults.WrapConn(conn, *c.cfg.Faults.Wire)
+	}
+	return conn
 }
 
 // Run connects, registers, and participates until the server shuts the
@@ -118,7 +234,7 @@ func (c *Client) Run() error {
 	c.mu.Unlock()
 	defer ln.Close()
 
-	conn, err := net.Dial("tcp", c.cfg.ServerAddr)
+	conn, err := c.dialRetry(c.cfg.ServerAddr, -1)
 	if err != nil {
 		ln.Close()
 		return fmt.Errorf("fednet: dial server: %w", err)
@@ -128,7 +244,7 @@ func (c *Client) Run() error {
 	c.mu.Unlock()
 	defer conn.Close()
 
-	setDeadline(conn, c.cfg.Timeout)
+	setDeadline(conn, c.cfg.IOTimeout)
 	if err := c.nm.write(conn, &Message{
 		Type:       MsgHello,
 		ListenAddr: ln.Addr().String(),
@@ -150,7 +266,7 @@ func (c *Client) Run() error {
 	c.lr = welcome.LR
 
 	for {
-		setDeadline(conn, c.cfg.Timeout)
+		setDeadline(conn, c.cfg.IOTimeout)
 		m, err := c.nm.read(conn)
 		if err != nil {
 			return err
@@ -191,10 +307,15 @@ func (c *Client) onGlobalModel(m *Message) error {
 }
 
 // localUpdateAndSignal trains every hosted model for τ epochs and sends
-// the completion signal.
+// the completion signal. A node whose fault plan says it crashes here
+// tears itself down instead, simulating a device dropping out mid-round.
 func (c *Client) localUpdateAndSignal() error {
 	loss := c.trainHosted()
-	setDeadline(c.conn, c.cfg.Timeout)
+	if c.cfg.Faults.CrashDue(c.Epochs) {
+		c.Close()
+		return fmt.Errorf("fednet: client %d after %d epochs: %w", c.id, c.Epochs, faults.ErrCrashed)
+	}
+	setDeadline(c.conn, c.cfg.IOTimeout)
 	return c.nm.write(c.conn, &Message{Type: MsgCompletion, Loss: loss})
 }
 
@@ -230,8 +351,53 @@ func (c *Client) trainHosted() float64 {
 	return lossSum / float64(n)
 }
 
+// receiveInbound accepts up to `want` peer transfers, bounded overall by
+// half the I/O timeout: a sender whose transfer failed will never dial, so
+// the receiver resolves the round by deadline instead of blocking the
+// whole session. A transfer that errors mid-frame is skipped; whatever
+// arrived intact is returned.
+func (c *Client) receiveInbound(want int) (map[int]*nn.Sequential, error) {
+	got := make(map[int]*nn.Sequential, want)
+	if want == 0 {
+		return got, nil
+	}
+	type deadliner interface{ SetDeadline(time.Time) error }
+	dl, hasDeadline := c.ln.(deadliner)
+	if hasDeadline {
+		_ = dl.SetDeadline(time.Now().Add(c.cfg.IOTimeout / 2))
+		defer dl.SetDeadline(time.Time{})
+	}
+	for attempts := 0; len(got) < want && attempts < want; attempts++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.nm.incTimeout()
+				return got, nil // senders that never came are resolved by the server
+			}
+			return got, fmt.Errorf("fednet: client %d accept transfer: %w", c.id, err)
+		}
+		if !c.trackPeer(conn) {
+			return got, fmt.Errorf("fednet: client %d closed during transfer", c.id)
+		}
+		setDeadline(conn, c.cfg.IOTimeout/2)
+		tm, err := c.nm.expect(conn, MsgModelTransfer)
+		c.untrackPeer(conn)
+		if err != nil {
+			continue // broken transfer: the server will mark the model lost
+		}
+		model := c.factory()
+		if err := model.UnmarshalParams(tm.Params); err != nil {
+			continue
+		}
+		got[tm.ModelID] = model
+	}
+	return got, nil
+}
+
 // onMigration ships ordered models to peers, receives the announced number
-// of inbound models, confirms, and runs the next local-updating phase.
+// of inbound models, confirms (reporting undeliverable and received model
+// ids), and runs the next local-updating phase.
 func (c *Client) onMigration(m *Message) error {
 	// Receive inbound transfers concurrently with outbound sends so two
 	// clients exchanging models cannot deadlock.
@@ -241,38 +407,16 @@ func (c *Client) onMigration(m *Message) error {
 	}
 	inCh := make(chan inResult, 1)
 	go func() {
-		got := make(map[int]*nn.Sequential, m.Inbound)
-		for i := 0; i < m.Inbound; i++ {
-			conn, err := c.ln.Accept()
-			if err != nil {
-				inCh <- inResult{nil, fmt.Errorf("fednet: client %d accept transfer: %w", c.id, err)}
-				return
-			}
-			setDeadline(conn, c.cfg.Timeout)
-			tm, err := c.nm.expect(conn, MsgModelTransfer)
-			conn.Close()
-			if err != nil {
-				inCh <- inResult{nil, err}
-				return
-			}
-			model := c.factory()
-			if err := model.UnmarshalParams(tm.Params); err != nil {
-				inCh <- inResult{nil, err}
-				return
-			}
-			got[tm.ModelID] = model
-		}
-		inCh <- inResult{got, nil}
+		got, err := c.receiveInbound(m.Inbound)
+		inCh <- inResult{got, err}
 	}()
 
-	// Outbound sends.
+	// Outbound sends. An unreachable destination keeps the model here;
+	// the fallback is reported to the server via Kept.
+	var kept []int
 	for _, o := range m.Orders {
 		c.mu.Lock()
 		model, ok := c.hosted[o.ModelID]
-		if ok {
-			delete(c.hosted, o.ModelID)
-			delete(c.opts, o.ModelID)
-		}
 		c.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("fednet: client %d ordered to send model %d it does not host", c.id, o.ModelID)
@@ -281,16 +425,15 @@ func (c *Client) onMigration(m *Message) error {
 		if err != nil {
 			return err
 		}
-		peer, err := net.DialTimeout("tcp", o.DestAddr, c.cfg.Timeout)
-		if err != nil {
-			return fmt.Errorf("fednet: client %d dial peer %s: %w", c.id, o.DestAddr, err)
+		if err := c.sendModel(o, params); err != nil {
+			kept = append(kept, o.ModelID)
+			c.Fallbacks++
+			continue
 		}
-		setDeadline(peer, c.cfg.Timeout)
-		err = c.nm.write(peer, &Message{Type: MsgModelTransfer, ModelID: o.ModelID, Params: params})
-		peer.Close()
-		if err != nil {
-			return err
-		}
+		c.mu.Lock()
+		delete(c.hosted, o.ModelID)
+		delete(c.opts, o.ModelID)
+		c.mu.Unlock()
 		c.Migrations++
 	}
 
@@ -298,18 +441,33 @@ func (c *Client) onMigration(m *Message) error {
 	if in.err != nil {
 		return in.err
 	}
+	received := make([]int, 0, len(in.models))
 	c.mu.Lock()
 	for id, model := range in.models {
 		c.hosted[id] = model
 		c.opts[id] = nn.NewSGD(c.lr)
+		received = append(received, id)
 	}
 	c.mu.Unlock()
+	sort.Ints(received)
+	sort.Ints(kept)
 
-	setDeadline(c.conn, c.cfg.Timeout)
-	if err := c.nm.write(c.conn, &Message{Type: MsgTransferDone}); err != nil {
+	setDeadline(c.conn, c.cfg.IOTimeout)
+	if err := c.nm.write(c.conn, &Message{Type: MsgTransferDone, Kept: kept, Received: received}); err != nil {
 		return err
 	}
 	return c.localUpdateAndSignal()
+}
+
+// sendModel delivers one ordered model to its destination peer.
+func (c *Client) sendModel(o Order, params []byte) error {
+	peer, err := c.dialRetry(o.DestAddr, o.DestID)
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	setDeadline(peer, c.cfg.IOTimeout)
+	return c.nm.write(peer, &Message{Type: MsgModelTransfer, ModelID: o.ModelID, Params: params})
 }
 
 // onAggregate uploads every hosted model to the server.
@@ -321,13 +479,7 @@ func (c *Client) onAggregate() error {
 	}
 	c.mu.Unlock()
 	// Stable order keeps server reads deterministic.
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
+	sort.Ints(ids)
 	for _, id := range ids {
 		c.mu.Lock()
 		model := c.hosted[id]
@@ -336,7 +488,7 @@ func (c *Client) onAggregate() error {
 		if err != nil {
 			return err
 		}
-		setDeadline(c.conn, c.cfg.Timeout)
+		setDeadline(c.conn, c.cfg.IOTimeout)
 		if err := c.nm.write(c.conn, &Message{
 			Type: MsgLocalUpdate, ModelID: id, Params: params,
 			Weight: float64(c.dataset.Len()),

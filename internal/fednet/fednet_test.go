@@ -134,6 +134,9 @@ func runSession(t *testing.T, k, rounds, aggEvery int, migrator core.Migrator) (
 	}
 	defer srv.Close()
 
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Run() }()
+
 	clients := make([]*Client, k)
 	var wg sync.WaitGroup
 	errs := make([]error, k)
@@ -148,8 +151,18 @@ func runSession(t *testing.T, k, rounds, aggEvery int, migrator core.Migrator) (
 			defer wg.Done()
 			errs[i] = clients[i].Run()
 		}(i)
+		// Gate the next registration on this one landing, so client i gets
+		// server-assigned id i regardless of goroutine scheduling (the race
+		// detector perturbs it enough to change accept order otherwise).
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.Alive() < i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("client %d did not register", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
 	}
-	if err := srv.Run(); err != nil {
+	if err := <-srvErr; err != nil {
 		t.Fatalf("server: %v", err)
 	}
 	wg.Wait()

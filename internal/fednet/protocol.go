@@ -104,6 +104,12 @@ type Message struct {
 	// Migration.
 	Orders  []Order
 	Inbound int
+	// TransferDone reconciliation: Kept lists ordered models the sender
+	// could not deliver and kept locally (dead/unreachable destination);
+	// Received lists the model ids that actually arrived inbound. The
+	// server commits a migration only when the receiver confirms it.
+	Kept     []int
+	Received []int
 
 	// Model payloads (GlobalModel, ModelTransfer, LocalUpdate).
 	ModelID int
@@ -115,6 +121,12 @@ type Message struct {
 }
 
 const maxFrame = 64 << 20 // 64 MiB: far above any model in the zoo
+
+// readChunk bounds the allocation made ahead of received data: a frame
+// header claiming maxFrame bytes costs at most one chunk until the bytes
+// actually arrive, so a lying (or fuzzed) peer cannot force a 64 MiB
+// allocation with a 5-byte message.
+const readChunk = 1 << 20
 
 // WriteMessage writes one length-prefixed gob frame.
 func WriteMessage(w io.Writer, m *Message) error {
@@ -158,15 +170,29 @@ func ReadMessageCount(r io.Reader) (*Message, int, error) {
 	if n > maxFrame {
 		return nil, 4, fmt.Errorf("fednet: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 4, fmt.Errorf("fednet: read frame: %w", err)
+	// Grow the payload chunk-by-chunk as bytes arrive, so the allocation
+	// tracks the data actually received rather than the claimed length.
+	payload := make([]byte, 0, minInt(int(n), readChunk))
+	for len(payload) < int(n) {
+		c := minInt(int(n)-len(payload), readChunk)
+		start := len(payload)
+		payload = append(payload, make([]byte, c)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, 4 + start, fmt.Errorf("fednet: read frame: %w", err)
+		}
 	}
 	var m Message
 	if err := gob.NewDecoder(frameReader{payload, new(int)}).Decode(&m); err != nil {
 		return nil, 4 + int(n), fmt.Errorf("fednet: decode frame: %w", err)
 	}
 	return &m, 4 + int(n), nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // frameBuffer is a minimal append-only buffer (avoids bytes import churn).

@@ -1,9 +1,11 @@
 package fednet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
+	"sync"
 	"time"
 
 	"fedmigr/internal/core"
@@ -24,10 +26,20 @@ type ServerConfig struct {
 	Tau       int
 	BatchSize int
 	LR        float64
-	// Timeout bounds every blocking network operation (default 30s).
+	// IOTimeout bounds every blocking frame read/write. A client that does
+	// not produce its expected frame within IOTimeout is declared dead and
+	// excluded from the rest of the session instead of blocking it.
+	IOTimeout time.Duration
+	// Timeout is the deprecated name for IOTimeout, kept for compatibility;
+	// IOTimeout wins when both are set. Default 30s.
 	Timeout time.Duration
-	// Telemetry, when non-nil, records RPC latency histograms and
-	// per-message-type byte/count metrics under role=server.
+	// MinClients is the quorum: the session aborts only when fewer than
+	// MinClients remain alive (default 1 — the round completes with
+	// degraded membership as long as anyone survives).
+	MinClients int
+	// Telemetry, when non-nil, records RPC latency histograms,
+	// per-message-type byte/count metrics, and fault-handling counters
+	// (dead clients, reroutes, partial rounds) under role=server.
 	Telemetry *telemetry.Telemetry
 }
 
@@ -47,15 +59,40 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.LR == 0 {
 		c.LR = 0.05
 	}
-	if c.Timeout == 0 {
-		c.Timeout = 30 * time.Second
+	if c.IOTimeout == 0 {
+		c.IOTimeout = c.Timeout
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	if c.MinClients <= 0 {
+		c.MinClients = 1
 	}
 	return c
 }
 
+// FaultStats counts the fault-handling actions one session performed.
+type FaultStats struct {
+	// DeadClients is the number of clients declared dead (timeout, EOF or
+	// protocol error) and excluded from the session.
+	DeadClients int
+	// Reroutes counts migration orders that fell back to keeping the model
+	// on its sender because the destination was dead or unreachable.
+	Reroutes int
+	// LostModels counts replicas lost in transit (neither the sender kept
+	// them nor the receiver confirmed them).
+	LostModels int
+	// PartialRounds counts aggregations that completed with fewer than K
+	// model uploads, renormalizing weights over the survivors.
+	PartialRounds int
+}
+
 // Server is the FedMigr parameter server: it registers K clients, drives
 // the synchronous round workflow of Fig. 2, computes migration policies
-// from the reported state, and aggregates uploaded models.
+// from the reported state, and aggregates uploaded models. Clients that
+// crash, hang or lose connectivity mid-session are declared dead and the
+// session continues with the survivors (partial aggregation); it aborts
+// only when fewer than MinClients remain.
 type Server struct {
 	cfg      ServerConfig
 	factory  core.ModelFactory
@@ -67,6 +104,17 @@ type Server struct {
 	conns   []net.Conn
 	addrs   []string
 	weights []float64
+
+	// Liveness: mu guards alive/conns/closed/stats against concurrent
+	// collect goroutines and cross-goroutine Close.
+	mu     sync.Mutex
+	alive  []bool
+	closed bool
+	fstats FaultStats
+
+	// lost[m] marks a replica unusable for the current round: its host
+	// died or it vanished in transit. Reset at every distribution.
+	lost []bool
 
 	// Policy state, mirroring the simulator's bookkeeping.
 	loc        []int // model id → hosting client id
@@ -113,8 +161,16 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close releases the server's listener and client connections.
+// Close releases the server's listener and client connections. It is
+// idempotent and safe to call from any goroutine: every connection is
+// closed, so any goroutine parked in a frame read or write unblocks.
 func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if s.ln != nil {
 		_ = s.ln.Close()
 	}
@@ -125,30 +181,108 @@ func (s *Server) Close() {
 	}
 }
 
+// Stats returns the session's fault-handling counters.
+func (s *Server) Stats() FaultStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fstats
+}
+
+// Alive returns the number of registered clients currently considered
+// live. During registration it grows from 0 to K, so callers that need a
+// deterministic client→id mapping can gate each connection on it.
+func (s *Server) Alive() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
 // GlobalModel returns the server's current global model.
 func (s *Server) GlobalModel() *nn.Sequential { return s.global }
+
+// isAlive reports client liveness under the lock.
+func (s *Server) isAlive(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive[id]
+}
+
+// aliveCount returns the number of clients still in the session.
+func (s *Server) aliveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// markDead declares a client dead, closes its connection so nothing else
+// blocks on it, and records the cause. Idempotent per client.
+func (s *Server) markDead(id int, cause error) {
+	s.mu.Lock()
+	if !s.alive[id] {
+		s.mu.Unlock()
+		return
+	}
+	s.alive[id] = false
+	s.fstats.DeadClients++
+	conn := s.conns[id]
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	s.nm.incDeadClient()
+	var ne net.Error
+	if errors.As(cause, &ne) && ne.Timeout() {
+		s.nm.incTimeout()
+	}
+	s.cfg.Telemetry.Event("client_dead", "client", id, "epoch", s.epoch, "cause", fmt.Sprint(cause))
+}
+
+// quorumErr reports the unrecoverable loss of too many clients.
+func (s *Server) quorumErr(phase string) error {
+	return fmt.Errorf("fednet: %s: %d of %d clients alive, quorum is %d",
+		phase, s.aliveCount(), s.cfg.K, s.cfg.MinClients)
+}
 
 // accept registers the K clients.
 func (s *Server) accept() error {
 	k := s.cfg.K
+	s.mu.Lock()
 	s.conns = make([]net.Conn, k)
+	s.alive = make([]bool, k)
+	s.mu.Unlock()
 	s.addrs = make([]string, k)
 	s.weights = make([]float64, k)
 	s.clientDist = make([]stats.Distribution, k)
 	s.effDist = make([]stats.Distribution, k)
 	s.effSeen = make([]float64, k)
 	s.loc = make([]int, k)
+	s.lost = make([]bool, k)
 	for id := 0; id < k; id++ {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return fmt.Errorf("fednet: accept: %w", err)
 		}
-		setDeadline(conn, s.cfg.Timeout)
+		setDeadline(conn, s.cfg.IOTimeout)
 		hello, err := s.nm.expect(conn, MsgHello)
 		if err != nil {
 			return err
 		}
+		s.mu.Lock()
 		s.conns[id] = conn
+		s.alive[id] = true
+		s.mu.Unlock()
 		s.addrs[id] = hello.ListenAddr
 		s.weights[id] = float64(hello.NumSamples)
 		s.clientDist[id] = stats.Distribution(hello.Dist)
@@ -166,29 +300,58 @@ func (s *Server) accept() error {
 	return nil
 }
 
-// broadcast sends one message to every client.
+// broadcast sends one message to every live client; a client that cannot
+// be written to is declared dead rather than failing the phase.
 func (s *Server) broadcast(build func(id int) *Message) error {
 	for id, conn := range s.conns {
-		setDeadline(conn, s.cfg.Timeout)
-		if err := s.nm.write(conn, build(id)); err != nil {
-			return fmt.Errorf("fednet: to client %d: %w", id, err)
+		if !s.isAlive(id) {
+			continue
 		}
+		setDeadline(conn, s.cfg.IOTimeout)
+		if err := s.nm.write(conn, build(id)); err != nil {
+			s.markDead(id, err)
+		}
+	}
+	if s.aliveCount() < s.cfg.MinClients {
+		return s.quorumErr("broadcast")
 	}
 	return nil
 }
 
-// collect reads one message of the given type from every client.
+// collect reads one message of the given type from every live client,
+// concurrently, each read bounded by IOTimeout. Unresponsive clients are
+// declared dead and their slot left nil; the phase fails only when the
+// quorum is lost.
 func (s *Server) collect(want MsgType) ([]*Message, error) {
 	out := make([]*Message, len(s.conns))
+	var wg sync.WaitGroup
 	for id, conn := range s.conns {
-		setDeadline(conn, s.cfg.Timeout)
-		m, err := s.nm.expect(conn, want)
-		if err != nil {
-			return nil, fmt.Errorf("fednet: from client %d: %w", id, err)
+		if !s.isAlive(id) {
+			continue
 		}
-		out[id] = m
+		wg.Add(1)
+		go func(id int, conn net.Conn) {
+			defer wg.Done()
+			setDeadline(conn, s.cfg.IOTimeout)
+			m, err := s.nm.expect(conn, want)
+			if err != nil {
+				s.markDead(id, err)
+				return
+			}
+			out[id] = m
+		}(id, conn)
+	}
+	wg.Wait()
+	if s.aliveCount() < s.cfg.MinClients {
+		return nil, s.quorumErr(fmt.Sprintf("collect %v", want))
 	}
 	return out, nil
+}
+
+// usable reports whether replica m participates in the current round: its
+// host must be alive and the replica must not have been lost in transit.
+func (s *Server) usable(m int) bool {
+	return !s.lost[m] && s.isAlive(s.loc[m])
 }
 
 // policyState assembles the core.State the migration policy consumes.
@@ -200,7 +363,7 @@ func (s *Server) policyState() *core.State {
 	for m := 0; m < k; m++ {
 		d[m] = make([]float64, k)
 		cost[m] = make([]float64, k)
-		active[m] = true
+		active[m] = s.isAlive(m)
 		for j := 0; j < k; j++ {
 			d[m][j] = stats.EMD(s.effDist[m], s.clientDist[j])
 		}
@@ -217,8 +380,18 @@ func (s *Server) policyState() *core.State {
 }
 
 // Run drives the full session: registration, G rounds of the four-process
-// workflow, and shutdown. It blocks until completion.
+// workflow, and shutdown. It blocks until completion. On an unrecoverable
+// error every connection is closed before returning, so no client-facing
+// goroutine is left parked in a read.
 func (s *Server) Run() error {
+	err := s.run()
+	if err != nil {
+		s.Close()
+	}
+	return err
+}
+
+func (s *Server) run() error {
 	if s.ln == nil {
 		return fmt.Errorf("fednet: server not listening")
 	}
@@ -234,6 +407,7 @@ func (s *Server) Run() error {
 		}
 		for m := 0; m < k; m++ {
 			s.loc[m] = m
+			s.lost[m] = !s.isAlive(m)
 			s.effDist[m] = append(stats.Distribution(nil), s.clientDist[m]...)
 			s.effSeen[m] = s.weights[m]
 		}
@@ -249,11 +423,17 @@ func (s *Server) Run() error {
 			if err != nil {
 				return err
 			}
-			lossSum := 0.0
+			lossSum, lossN := 0.0, 0
 			for _, c := range comps {
+				if c == nil {
+					continue
+				}
 				lossSum += c.Loss
+				lossN++
 			}
-			s.prevLoss, s.lastLoss = s.lastLoss, lossSum/float64(len(comps))
+			if lossN > 0 {
+				s.prevLoss, s.lastLoss = s.lastLoss, lossSum/float64(lossN)
+			}
 			s.epoch += s.cfg.Tau
 			s.foldHostDistributions()
 
@@ -270,7 +450,7 @@ func (s *Server) Run() error {
 		}); err != nil {
 			return err
 		}
-		if err := s.aggregate(); err != nil {
+		if err := s.aggregate(round); err != nil {
 			return err
 		}
 		s.History = append(s.History, s.lastLoss)
@@ -278,10 +458,13 @@ func (s *Server) Run() error {
 	return s.broadcast(func(int) *Message { return &Message{Type: MsgShutdown} })
 }
 
-// foldHostDistributions advances every model's effective label mixture
-// (Eq. 12's virtual dataset) by the host data it just trained on.
+// foldHostDistributions advances every live model's effective label
+// mixture (Eq. 12's virtual dataset) by the host data it just trained on.
 func (s *Server) foldHostDistributions() {
 	for m := range s.effDist {
+		if !s.usable(m) {
+			continue
+		}
 		host := s.loc[m]
 		n := s.weights[host]
 		if n == 0 {
@@ -297,29 +480,39 @@ func (s *Server) foldHostDistributions() {
 	}
 }
 
-// migrationEvent computes the policy, issues orders, and waits for the
-// transfer confirmations.
+// migrationEvent computes the policy, issues orders, waits for transfer
+// confirmations, and reconciles the location map against what actually
+// happened on the wire: an order whose destination turned out dead or
+// unreachable falls back to keeping the model on its sender (a reroute),
+// and a model neither kept nor confirmed received is declared lost.
 func (s *Server) migrationEvent() error {
 	st := s.policyState()
 	dest := s.migrator.Plan(st)
 	if len(dest) != s.cfg.K {
 		return fmt.Errorf("fednet: policy returned %d destinations for %d models", len(dest), s.cfg.K)
 	}
-	// Sanitize: stay for invalid destinations.
+	// Sanitize: stay for invalid endpoints; reroute orders whose
+	// destination is already known dead.
+	src := append([]int(nil), s.loc...)
 	for m, d := range dest {
-		if d < 0 || d >= s.cfg.K {
-			dest[m] = s.loc[m]
+		switch {
+		case d < 0 || d >= s.cfg.K:
+			dest[m] = src[m]
+		case !s.usable(m):
+			dest[m] = src[m]
+		case d != src[m] && !s.isAlive(d):
+			dest[m] = src[m]
+			s.recordReroute(m, d, "destination dead")
 		}
 	}
 	// Per-client outbound orders and inbound counts.
 	orders := make([][]Order, s.cfg.K)
 	inbound := make([]int, s.cfg.K)
 	for m, d := range dest {
-		src := s.loc[m]
-		if d == src {
+		if d == src[m] {
 			continue
 		}
-		orders[src] = append(orders[src], Order{ModelID: m, DestID: d, DestAddr: s.addrs[d]})
+		orders[src[m]] = append(orders[src[m]], Order{ModelID: m, DestID: d, DestAddr: s.addrs[d]})
 		inbound[d]++
 	}
 	// Deterministic order within a client.
@@ -335,8 +528,32 @@ func (s *Server) migrationEvent() error {
 	if err != nil {
 		return err
 	}
-	_ = done
-	// Commit the new location map and advance the effective mixtures.
+	// Reconcile each planned move against the senders' and receivers'
+	// reports. The receiver's confirmation is authoritative.
+	for m, d := range dest {
+		from := src[m]
+		if d == from {
+			continue
+		}
+		switch {
+		case done[from] != nil && containsInt(done[from].Kept, m):
+			dest[m] = from
+			s.recordReroute(m, d, "destination unreachable")
+		case done[d] != nil && containsInt(done[d].Received, m):
+			// Confirmed: the move stands.
+		default:
+			// Sender shipped it (or died trying) and the receiver never
+			// confirmed: the replica is gone for this round.
+			dest[m] = from
+			s.lost[m] = true
+			s.mu.Lock()
+			s.fstats.LostModels++
+			s.mu.Unlock()
+			s.nm.incLostModel()
+			s.cfg.Telemetry.Event("model_lost", "model", m, "from", from, "to", d, "epoch", s.epoch)
+		}
+	}
+	// Commit the reconciled location map and advance the effective mixtures.
 	for m, d := range dest {
 		s.loc[m] = d
 	}
@@ -345,43 +562,123 @@ func (s *Server) migrationEvent() error {
 	return nil
 }
 
-// aggregate receives one LocalUpdate per model and installs the weighted
-// average as the new global model.
-func (s *Server) aggregate() error {
+// recordReroute accounts one migration order that fell back to its sender.
+func (s *Server) recordReroute(m, dst int, cause string) {
+	s.mu.Lock()
+	s.fstats.Reroutes++
+	s.mu.Unlock()
+	s.nm.incReroute()
+	s.cfg.Telemetry.Event("migration_reroute", "model", m, "dest", dst, "epoch", s.epoch, "cause", cause)
+}
+
+// aggregate receives the surviving LocalUpdates and installs their
+// weighted average as the new global model, renormalizing over the models
+// that actually arrived: with u ⊆ {1..K} uploaded, the new global is
+// Σ_{m∈u} n_m·w_m / Σ_{m∈u} n_m, so degraded membership still yields a
+// valid convex combination.
+func (s *Server) aggregate(round int) error {
 	k := s.cfg.K
-	total := 0.0
-	for _, w := range s.weights {
-		total += w
+	// Expected uploads per client under the reconciled location map.
+	hosted := make([][]int, k)
+	expected := 0
+	for m := 0; m < k; m++ {
+		if !s.usable(m) {
+			continue
+		}
+		hosted[s.loc[m]] = append(hosted[s.loc[m]], m)
+		expected++
 	}
-	agg := tensor.New(s.global.NumParams())
+	if expected == 0 {
+		return fmt.Errorf("fednet: aggregate: no usable replicas remain")
+	}
+	// One goroutine per client reads its uploads; a client that dies
+	// mid-upload forfeits all its contributions, so a partial upload
+	// cannot skew the average.
+	type part struct {
+		vecs map[int]*tensor.Tensor
+		eff  map[int][]float64
+		dead bool
+	}
+	parts := make([]part, k)
+	var wg sync.WaitGroup
+	for id := 0; id < k; id++ {
+		if len(hosted[id]) == 0 || !s.isAlive(id) {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn := s.conns[id]
+			p := part{vecs: map[int]*tensor.Tensor{}, eff: map[int][]float64{}}
+			for range hosted[id] {
+				setDeadline(conn, s.cfg.IOTimeout)
+				m, err := s.nm.expect(conn, MsgLocalUpdate)
+				if err != nil {
+					s.markDead(id, err)
+					p.dead = true
+					break
+				}
+				tmp := s.factory()
+				if err := tmp.UnmarshalParams(m.Params); err != nil {
+					s.markDead(id, err)
+					p.dead = true
+					break
+				}
+				p.vecs[m.ModelID] = tmp.ParamVector()
+				if len(m.EffDist) > 0 {
+					p.eff[m.ModelID] = m.EffDist
+				}
+			}
+			parts[id] = p
+		}(id)
+	}
+	wg.Wait()
+	// Merge survivors in model-id order so the float accumulation is
+	// deterministic regardless of goroutine scheduling, and identical to
+	// the simulator's aggregation when nothing failed.
+	got := make([]*tensor.Tensor, k)
+	wsum := 0.0
 	recv := 0
-	// Each client uploads one LocalUpdate per hosted model; total = K.
-	hosted := make([]int, k)
-	for _, host := range s.loc {
-		hosted[host]++
-	}
-	for id, conn := range s.conns {
-		for n := 0; n < hosted[id]; n++ {
-			setDeadline(conn, s.cfg.Timeout)
-			m, err := s.nm.expect(conn, MsgLocalUpdate)
-			if err != nil {
-				return fmt.Errorf("fednet: update from client %d: %w", id, err)
-			}
-			tmp := s.factory()
-			if err := tmp.UnmarshalParams(m.Params); err != nil {
-				return err
-			}
-			w := s.weights[m.ModelID] / total
-			agg.AddScaledInPlace(tmp.ParamVector(), w)
-			if len(m.EffDist) > 0 {
-				s.effDist[m.ModelID] = stats.Distribution(m.EffDist)
-			}
+	for id := 0; id < k; id++ {
+		p := parts[id]
+		if p.vecs == nil || p.dead {
+			continue
+		}
+		for mid, v := range p.vecs {
+			got[mid] = v
+			wsum += s.weights[mid]
 			recv++
 		}
+		for mid, eff := range p.eff {
+			s.effDist[mid] = stats.Distribution(eff)
+		}
 	}
-	if recv != k {
-		return fmt.Errorf("fednet: aggregated %d of %d models", recv, k)
+	if recv == 0 || wsum <= 0 {
+		return fmt.Errorf("fednet: aggregate: all %d expected uploads failed", expected)
+	}
+	agg := tensor.New(s.global.NumParams())
+	for m := 0; m < k; m++ {
+		if got[m] != nil {
+			agg.AddScaledInPlace(got[m], s.weights[m]/wsum)
+		}
+	}
+	if recv < k {
+		s.mu.Lock()
+		s.fstats.PartialRounds++
+		s.mu.Unlock()
+		s.nm.incPartialRound()
+		s.cfg.Telemetry.Event("partial_aggregation",
+			"round", round, "received", recv, "expected_k", k, "weight", wsum)
 	}
 	s.global.SetParamVector(agg)
 	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }

@@ -15,6 +15,16 @@ type netMetrics struct {
 	txBytes, rxBytes    *telemetry.Counter
 	txMsg, rxMsg        [MsgShutdown + 1]*telemetry.Counter
 	writeSecs, readSecs *telemetry.Histogram
+
+	// Fault-tolerance counters: dial retries, deadline expiries, clients
+	// declared dead, migrations rerouted back to their sender, models lost
+	// in transit, and rounds aggregated with degraded membership.
+	retries       *telemetry.Counter
+	timeouts      *telemetry.Counter
+	deadClients   *telemetry.Counter
+	reroutes      *telemetry.Counter
+	lostModels    *telemetry.Counter
+	partialRounds *telemetry.Counter
 }
 
 // rpcBuckets spans 0.1 ms to ~6.5 s of blocking network time.
@@ -36,7 +46,51 @@ func newNetMetrics(tel *telemetry.Telemetry, role string) *netMetrics {
 		nm.txMsg[t] = tel.Counter("fednet_msgs_total", "role", role, "dir", "tx", "type", t.String())
 		nm.rxMsg[t] = tel.Counter("fednet_msgs_total", "role", role, "dir", "rx", "type", t.String())
 	}
+	nm.retries = tel.Counter("fednet_retries_total", "role", role)
+	nm.timeouts = tel.Counter("fednet_timeouts_total", "role", role)
+	nm.deadClients = tel.Counter("fednet_dead_clients_total", "role", role)
+	nm.reroutes = tel.Counter("fednet_reroutes_total", "role", role)
+	nm.lostModels = tel.Counter("fednet_lost_models_total", "role", role)
+	nm.partialRounds = tel.Counter("fednet_partial_rounds_total", "role", role)
 	return nm
+}
+
+// incRetry .. incPartialRound record fault-handling actions; all are
+// no-ops on a nil *netMetrics.
+func (nm *netMetrics) incRetry() {
+	if nm != nil {
+		nm.retries.Inc()
+	}
+}
+
+func (nm *netMetrics) incTimeout() {
+	if nm != nil {
+		nm.timeouts.Inc()
+	}
+}
+
+func (nm *netMetrics) incDeadClient() {
+	if nm != nil {
+		nm.deadClients.Inc()
+	}
+}
+
+func (nm *netMetrics) incReroute() {
+	if nm != nil {
+		nm.reroutes.Inc()
+	}
+}
+
+func (nm *netMetrics) incLostModel() {
+	if nm != nil {
+		nm.lostModels.Inc()
+	}
+}
+
+func (nm *netMetrics) incPartialRound() {
+	if nm != nil {
+		nm.partialRounds.Inc()
+	}
 }
 
 // write sends one frame, recording bytes, message type and latency.

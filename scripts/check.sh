@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# check.sh — the repo's pre-commit gate: formatting, vet, build, and the
-# full test suite under the race detector.
+# check.sh — the repo's pre-commit gate: formatting, vet, build, the full
+# test suite under the race detector (including the chaos fault-injection
+# session), and a short fuzz smoke over the wire-frame decoder.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,4 +15,5 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+go test -run '^$' -fuzz FuzzReadMessage -fuzztime 10s ./internal/fednet
 echo "check.sh: all checks passed"
