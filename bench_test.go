@@ -10,6 +10,7 @@
 package fedmigr_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -55,7 +56,7 @@ func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
 func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
 
-// Extension artifacts (DESIGN.md §6): component ablations, the Sec. II-C
+// Extension artifacts (DESIGN.md §7): component ablations, the Sec. II-C
 // theory check, and the sync-vs-async comparison.
 func BenchmarkAblations(b *testing.B)  { benchExperiment(b, "abl") }
 func BenchmarkDivergence(b *testing.B) { benchExperiment(b, "div") }
@@ -180,6 +181,32 @@ func BenchmarkLocalEpoch(b *testing.B) {
 		if _, err := fedmigr.Run(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTrainerRound measures one federated round at the paper's
+// test-bed scale (50 clients, CNN replicas) across worker counts — the
+// scheduler's headline number. The workers=1 subbenchmark is the serial
+// baseline; speedups are ratios against it (scripts/bench.sh computes
+// them into BENCH_sched.json). On a single-core host all worker counts
+// collapse to the same wall time; the determinism tests guarantee the
+// results are identical either way.
+func BenchmarkTrainerRound(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=50/workers=%d", workers), func(b *testing.B) {
+			o := fedmigr.Options{
+				Scheme: fedmigr.SchemeFedAvg, Dataset: fedmigr.DatasetC10,
+				Model: fedmigr.ModelC10CNN, Clients: 50, LANs: 5,
+				PerClass: 25, Epochs: 1, AggEvery: 1, Seed: 1,
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fedmigr.Run(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

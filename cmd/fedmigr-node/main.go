@@ -35,6 +35,7 @@ import (
 	"fedmigr/internal/data"
 	"fedmigr/internal/fednet"
 	"fedmigr/internal/nn"
+	"fedmigr/internal/sched"
 	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
@@ -61,6 +62,7 @@ func main() {
 		retries   = flag.Int("dial-retries", 3, "client: dial re-attempts with exponential backoff (-1 disables)")
 		backoff   = flag.Duration("retry-backoff", 50*time.Millisecond, "client: base backoff before the first dial retry")
 		minAlive  = flag.Int("min-clients", 1, "server: quorum — abort when fewer clients remain alive")
+		workers   = flag.Int("workers", 0, "parallel workers for local tensor kernels (0 = NumCPU, 1 = serial; results are identical for any value)")
 		tracePath = flag.String("trace", "", "write JSONL telemetry records to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address")
 	)
@@ -71,6 +73,13 @@ func main() {
 		fatal(err)
 	}
 	defer cleanup()
+
+	// Local training and evaluation run their tensor kernels through a
+	// shared scheduler pool; parallelism is a wall-clock optimization only
+	// (kernels are bit-deterministic for any worker count).
+	pool := sched.New(*workers)
+	pool.SetTelemetry(tel)
+	tensor.InstallPool(pool)
 
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels ctx; a second
 	// signal kills the process the default way.

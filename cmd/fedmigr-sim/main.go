@@ -51,6 +51,7 @@ func main() {
 		bwBudget  = flag.Int64("bw-budget", 0, "bandwidth budget in bytes (0 = unlimited)")
 		timeBdg   = flag.Float64("time-budget", 0, "simulated time budget in seconds")
 		epsilon   = flag.Float64("epsilon", 0, "LDP privacy budget (0 = off)")
+		workers   = flag.Int("workers", 0, "parallel workers for client training and tensor kernels (0 = NumCPU, 1 = serial; results are identical for any value, so -resume checkpoints are worker-independent)")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		quiet     = flag.Bool("quiet", false, "print only the final summary")
 		csvPath   = flag.String("csv", "", "write the evaluation history to this CSV file")
@@ -118,6 +119,7 @@ func main() {
 		BandwidthBudget: *bwBudget,
 		TimeBudget:      *timeBdg,
 		PrivacyEpsilon:  *epsilon,
+		Workers:         *workers,
 		Seed:            *seed,
 		Telemetry:       tel,
 		Faults:          plan,

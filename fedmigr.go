@@ -163,6 +163,15 @@ type Options struct {
 	// slow-downs. See internal/faults and DESIGN.md "Fault tolerance".
 	Faults *faults.Plan
 
+	// Workers is the parallel worker count for client training and tensor
+	// kernels (0 = runtime.NumCPU(), 1 = serial). Any value produces
+	// bit-identical results; see DESIGN.md §5.
+	Workers int
+
+	// ShuffleBatches randomizes each model's per-epoch batch order with a
+	// worker-count-independent stream (default false: in-order batches).
+	ShuffleBatches bool
+
 	Seed int64
 }
 
@@ -288,6 +297,8 @@ func New(o Options) (*Simulation, error) {
 		TimeBudget:      o.TimeBudget,
 		Privacy:         mech,
 		Faults:          o.Faults,
+		Workers:         o.Workers,
+		ShuffleBatches:  o.ShuffleBatches,
 		Seed:            o.Seed,
 	}
 	tr, err := core.NewTrainer(cfg, clients, topo, cost, test, factory, mig)
@@ -346,6 +357,8 @@ func NewWithMigrator(o Options, m core.Migrator) (*Simulation, error) {
 		TimeBudget:      o.TimeBudget,
 		Privacy:         mech,
 		Faults:          o.Faults,
+		Workers:         o.Workers,
+		ShuffleBatches:  o.ShuffleBatches,
 		Seed:            o.Seed,
 	}
 	tr, err := core.NewTrainer(cfg, sim.Clients, sim.Topology, sim.Cost, sim.Test, factoryOf(sim), m)

@@ -1,0 +1,65 @@
+package fedmigr
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+// runFedMigr executes a short two-round FedMigr simulation (DRL migrator,
+// non-IID shards) at the given worker count and returns the result plus a
+// digest of the global model's parameters.
+func runFedMigr(t *testing.T, workers int, shuffle bool) (*Result, [32]byte) {
+	t.Helper()
+	sim, err := New(Options{
+		Scheme:    SchemeFedMigr,
+		Migrator:  MigratorDRL,
+		Model:     ModelMLP,
+		Clients:   6,
+		LANs:      2,
+		PerClass:  8,
+		Epochs:    8,
+		AggEvery:  4, // 2 aggregations in 8 epochs: a 2-round run
+		BatchSize: 8,
+		EvalEvery: 4,
+		Workers:   workers, ShuffleBatches: shuffle,
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	b, err := sim.Trainer.GlobalModel().MarshalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sha256.Sum256(b)
+}
+
+// TestParallelRunMatchesSerial is the end-to-end determinism proof the
+// scheduler promises: a FedMigr run — local SGD, DRL migration decisions,
+// aggregation, evaluation — produces bit-identical model parameters and
+// metrics whether it runs on one worker or eight.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	for _, shuffle := range []bool{false, true} {
+		serialRes, serialSum := runFedMigr(t, 1, shuffle)
+		parallelRes, parallelSum := runFedMigr(t, 8, shuffle)
+		if serialSum != parallelSum {
+			t.Fatalf("shuffle=%v: global model diverges between workers=1 and workers=8", shuffle)
+		}
+		if serialRes.Rounds != parallelRes.Rounds || serialRes.Epochs != parallelRes.Epochs {
+			t.Fatalf("shuffle=%v: run shape diverges: rounds %d vs %d, epochs %d vs %d",
+				shuffle, serialRes.Rounds, parallelRes.Rounds, serialRes.Epochs, parallelRes.Epochs)
+		}
+		if len(serialRes.History) != len(parallelRes.History) {
+			t.Fatalf("shuffle=%v: history length %d vs %d", shuffle, len(serialRes.History), len(parallelRes.History))
+		}
+		for i := range serialRes.History {
+			s, p := serialRes.History[i], parallelRes.History[i]
+			if s.TrainLoss != p.TrainLoss || s.TestAcc != p.TestAcc ||
+				s.Snapshot.TotalBytes != p.Snapshot.TotalBytes ||
+				s.Snapshot.ComputeSecs != p.Snapshot.ComputeSecs {
+				t.Fatalf("shuffle=%v: round %d metrics diverge:\nserial   %+v\nparallel %+v", shuffle, i, s, p)
+			}
+		}
+	}
+}

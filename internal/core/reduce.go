@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fedmigr/internal/nn"
+	"fedmigr/internal/sched"
+	"fedmigr/internal/tensor"
+)
+
+// weightedParamSum computes Σᵢ w(idx[i])·ParamVector(models[idx[i]]) with a
+// fixed binary-tree reduction. The tree's shape depends only on len(idx),
+// never on the worker count or on job completion order, so the float64
+// result is identical for serial and parallel runs — the determinism
+// contract aggregation and evaluation rely on (DESIGN.md §5).
+//
+// Leaves (scaled parameter vectors) are materialized in parallel: each job
+// writes only its own terms[i]. Each tree level then adds pairs at fixed
+// positions — terms[i] += terms[i+span] — which are disjoint, so levels
+// parallelize too. The scratch leaves are recycled through the arena.
+func weightedParamSum(pool *sched.Pool, models []*nn.Sequential, idx []int, weight func(m int) float64) *tensor.Tensor {
+	terms := make([]*tensor.Tensor, len(idx))
+	pool.ForEach("param_sum_leaves", len(idx), func(i int) {
+		m := idx[i]
+		v := tensor.GetScratch(models[m].NumParams())
+		models[m].ParamVectorInto(v)
+		v.ScaleInPlace(weight(m))
+		terms[i] = v
+	})
+	for span := 1; span < len(terms); span *= 2 {
+		var pairs []int
+		for i := 0; i+span < len(terms); i += 2 * span {
+			pairs = append(pairs, i)
+		}
+		pool.ForEach("param_sum_level", len(pairs), func(j int) {
+			i := pairs[j]
+			terms[i].AddInPlace(terms[i+span])
+			tensor.PutScratch(terms[i+span])
+			terms[i+span] = nil
+		})
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	return terms[0]
+}

@@ -8,6 +8,7 @@ import (
 	"fedmigr/internal/data"
 	"fedmigr/internal/edgenet"
 	"fedmigr/internal/nn"
+	"fedmigr/internal/sched"
 	"fedmigr/internal/stats"
 	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
@@ -40,6 +41,7 @@ type Trainer struct {
 	effSeen    []float64
 	clientDist []stats.Distribution
 
+	pool      *sched.Pool
 	rng       *tensor.RNG
 	epoch     int
 	round     int
@@ -99,6 +101,7 @@ func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edg
 		test:     test,
 		factory:  factory,
 		migrator: migrator,
+		pool:     sched.New(cfg.Workers),
 		rng:      tensor.NewRNG(cfg.Seed),
 	}
 	t.global = factory()
@@ -136,6 +139,9 @@ func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edg
 // Accountant exposes the run's resource accounting.
 func (t *Trainer) Accountant() *edgenet.Accountant { return t.acct }
 
+// Workers returns the run's parallel worker count.
+func (t *Trainer) Workers() int { return t.pool.Workers() }
+
 // SetTelemetry installs the run's observability sinks: loss/accuracy
 // gauges, epoch/round/migration counters, per-phase spans, and a mirror
 // of the accountant's traffic into the same registry. A nil tel (the
@@ -149,6 +155,7 @@ func (t *Trainer) SetTelemetry(tel *telemetry.Telemetry) {
 	t.mRounds = tel.Counter("core_rounds_total")
 	t.mMigrations = tel.Counter("core_migrations_total")
 	t.mFaults = tel.Counter("core_fault_transitions_total")
+	t.pool.SetTelemetry(tel)
 }
 
 // SetRoundHook installs fn, invoked after every recorded evaluation with
@@ -296,11 +303,17 @@ func (t *Trainer) snapshotState(epochCompute float64, epochBytes int64) State {
 
 // localEpoch runs one local training epoch for every model on its hosting
 // client's data, returning the average loss and charging compute time.
+//
+// The per-model training jobs run concurrently through the scheduler pool.
+// Each job touches only index-private state — its own model, optimizer,
+// loss/time slot, and effective-distribution entry — with an RNG stream
+// derived from (Seed, epoch, model), so stochasticity never depends on
+// worker count or completion order. The cross-model reductions (loss sum,
+// per-client compute time) happen afterwards on the coordinator in model-
+// index order, making the epoch bit-identical to a serial run.
 func (t *Trainer) localEpoch() float64 {
 	sp := t.tel.Begin("local_epoch")
 	k := len(t.models)
-	perClientTime := make([]float64, k)
-	lossSum, lossN := 0.0, 0
 	var globalVec *tensor.Tensor
 	if t.cfg.Scheme == FedProx && t.cfg.ProxMu > 0 {
 		globalVec = t.global.ParamVector()
@@ -311,28 +324,44 @@ func (t *Trainer) localEpoch() float64 {
 			opt.LR = lr
 		}
 	}
+	// Snapshot the work list sequentially: engagement (faults + α-selection)
+	// and model locations are coordinator state and must not be read from
+	// inside parallel jobs.
+	type job struct{ m, host int }
+	jobs := make([]job, 0, k)
 	for m := 0; m < k; m++ {
 		host := t.loc[m]
-		if !t.engaged(host) {
+		if !t.engaged(host) || t.clients[host].Data.Len() == 0 {
 			continue
 		}
-		ds := t.clients[host].Data
-		if ds.Len() == 0 {
-			continue
-		}
-		lossSum += t.trainOneEpoch(t.models[m], t.opts[m], ds, globalVec)
-		lossN++
-		perClientTime[host] += t.cost.ComputeTime(host, ds.Len())
-		// Fold the host's distribution into the model's effective mixture.
+		jobs = append(jobs, job{m: m, host: host})
+	}
+	losses := make([]float64, len(jobs))
+	ctime := make([]float64, len(jobs))
+	t.pool.ForEach("local_epoch", len(jobs), func(i int) {
+		j := jobs[i]
+		ds := t.clients[j.host].Data
+		g := tensor.NewRNG(modelEpochSeed(t.cfg.Seed, t.epoch, j.m))
+		losses[i] = t.trainOneEpoch(t.models[j.m], t.opts[j.m], ds, globalVec, g)
+		ctime[i] = t.cost.ComputeTime(j.host, ds.Len())
+		// Fold the host's distribution into the model's effective mixture
+		// (index-private: job i owns effDist[m] and effSeen[m]).
 		n := float64(ds.Len())
-		mix := make(stats.Distribution, len(t.effDist[m]))
+		mix := make(stats.Distribution, len(t.effDist[j.m]))
 		hostDist := ds.LabelDistribution()
-		tot := t.effSeen[m] + n
-		for i := range mix {
-			mix[i] = (t.effDist[m][i]*t.effSeen[m] + hostDist[i]*n) / tot
+		tot := t.effSeen[j.m] + n
+		for c := range mix {
+			mix[c] = (t.effDist[j.m][c]*t.effSeen[j.m] + hostDist[c]*n) / tot
 		}
-		t.effDist[m] = mix
-		t.effSeen[m] = tot
+		t.effDist[j.m] = mix
+		t.effSeen[j.m] = tot
+	})
+	// Deterministic reduction, in model-index order.
+	perClientTime := make([]float64, k)
+	lossSum := 0.0
+	for i, j := range jobs {
+		lossSum += losses[i]
+		perClientTime[j.host] += ctime[i]
 	}
 	wall, device := 0.0, 0.0
 	for _, s := range perClientTime {
@@ -345,24 +374,51 @@ func (t *Trainer) localEpoch() float64 {
 	t.acct.AddComputeTime(device)
 	t.mEpochs.Inc()
 	avg := t.lastLoss
-	if lossN > 0 {
-		avg = lossSum / float64(lossN)
+	if len(jobs) > 0 {
+		avg = lossSum / float64(len(jobs))
 	}
 	sp.End("epoch", t.epoch, "loss", avg)
 	return avg
 }
 
+// modelEpochSeed derives the seed of the RNG stream model m uses during
+// epoch e — a splitmix64-style mix so streams are decorrelated across
+// (epoch, model) pairs and entirely independent of scheduling.
+func modelEpochSeed(seed int64, epoch, m int) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15*uint64(epoch+1) ^ 0x2545f4914f6cdd1d*uint64(m+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // trainOneEpoch runs τ=1 pass of mini-batch SGD of model over ds,
-// optionally adding the FedProx proximal gradient μ(w − w_g).
-func (t *Trainer) trainOneEpoch(model *nn.Sequential, opt *nn.SGD, ds *data.Dataset, globalVec *tensor.Tensor) float64 {
+// optionally adding the FedProx proximal gradient μ(w − w_g). g is the
+// model's private stochasticity stream for this epoch; it drives the
+// optional batch-order shuffle. Batch tensors are recycled through the
+// scheduler arena, so steady-state training allocates no batch storage.
+func (t *Trainer) trainOneEpoch(model *nn.Sequential, opt *nn.SGD, ds *data.Dataset, globalVec *tensor.Tensor, g *tensor.RNG) float64 {
 	b := t.cfg.BatchSize
-	lossSum, nb := 0.0, 0
-	for lo := 0; lo < ds.Len(); lo += b {
+	nb := (ds.Len() + b - 1) / b
+	order := make([]int, nb)
+	for i := range order {
+		order[i] = i
+	}
+	if t.cfg.ShuffleBatches && g != nil {
+		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	c, h, w := ds.Spec()
+	lossSum := 0.0
+	for _, wi := range order {
+		lo := wi * b
 		hi := lo + b
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		x, y := ds.Batch(lo, hi)
+		x := tensor.GetScratch(hi-lo, c, h, w)
+		y := ds.BatchInto(x.Data(), lo, hi)
 		model.ZeroGrad()
 		out := model.Forward(x, true)
 		loss, grad := nn.CrossEntropy(out, y)
@@ -371,8 +427,8 @@ func (t *Trainer) trainOneEpoch(model *nn.Sequential, opt *nn.SGD, ds *data.Data
 			t.addProxGrad(model, globalVec)
 		}
 		opt.Step(model)
+		tensor.PutScratch(x)
 		lossSum += loss
-		nb++
 	}
 	if nb == 0 {
 		return 0
@@ -463,7 +519,11 @@ func (t *Trainer) aggregate() {
 		t.round++
 		return
 	}
-	agg := tensor.New(t.global.NumParams())
+	// Sanitization and transfer accounting stay sequential (the privacy
+	// mechanism consumes a shared RNG; the accountant is coordinator
+	// state); the weighted parameter sum itself is a deterministic tree
+	// reduction over the participant set.
+	idx := make([]int, 0, len(t.models))
 	for m, model := range t.models {
 		if !t.participants[m] {
 			continue
@@ -478,11 +538,14 @@ func (t *Trainer) aggregate() {
 				maxT = tt
 			}
 		}
-		w := float64(t.clients[m].Data.Len()) / n
-		agg.AddScaledInPlace(model.ParamVector(), w)
+		idx = append(idx, m)
 	}
+	agg := weightedParamSum(t.pool, t.models, idx, func(m int) float64 {
+		return float64(t.clients[m].Data.Len()) / n
+	})
 	t.acct.AddWallTime(maxT)
 	t.global.SetParamVector(agg)
+	tensor.PutScratch(agg)
 	t.round++
 }
 
@@ -575,13 +638,16 @@ func (t *Trainer) evaluate() float64 {
 		return 0
 	}
 	avg := t.factory()
-	vec := tensor.New(avg.NumParams())
 	n := t.totalWeight()
-	for m, model := range t.models {
-		w := float64(t.clients[m].Data.Len()) / n
-		vec.AddScaledInPlace(model.ParamVector(), w)
+	idx := make([]int, len(t.models))
+	for m := range idx {
+		idx[m] = m
 	}
+	vec := weightedParamSum(t.pool, t.models, idx, func(m int) float64 {
+		return float64(t.clients[m].Data.Len()) / n
+	})
 	avg.SetParamVector(vec)
+	tensor.PutScratch(vec)
 	const evalBatch = 256
 	correct, total := 0.0, 0
 	for lo := 0; lo < t.test.Len(); lo += evalBatch {
@@ -625,6 +691,11 @@ func (t *Trainer) budgetExceeded() bool {
 
 // Run executes the training loop to completion and returns the result.
 func (t *Trainer) Run() *Result {
+	// The run's pool also backs the tensor kernels: large matmul/conv/pool
+	// calls split across the same workers (nested regions degrade to
+	// inline execution, so concurrency stays bounded by cfg.Workers).
+	prevPool := tensor.InstallPool(t.pool)
+	defer tensor.InstallPool(prevPool)
 	cfg := t.cfg
 	res := &Result{}
 	t.started = time.Now()

@@ -122,6 +122,20 @@ type Config struct {
 	// never mentions are untouched, so manual SetActive churn composes.
 	Faults *faults.Plan
 
+	// Workers bounds the real concurrency of the run: per-round client
+	// training and the tensor kernels underneath it execute through one
+	// sched.Pool of this size. 0 (the default) selects runtime.NumCPU();
+	// 1 forces fully serial execution. Results are bit-for-bit identical
+	// for every value — parallelism changes wall-clock only (DESIGN.md §5).
+	Workers int
+
+	// ShuffleBatches randomizes each model's mini-batch visiting order
+	// every epoch, using a private RNG stream derived from (Seed, epoch,
+	// model) so the order is independent of worker count and of which
+	// other clients train. Default false keeps the historical in-order
+	// batch sweep.
+	ShuffleBatches bool
+
 	Seed int64
 }
 
@@ -160,6 +174,9 @@ func (c Config) Validate() error {
 	}
 	if c.Scheme == FedProx && c.ProxMu < 0 {
 		return fmt.Errorf("core: negative FedProx mu %v", c.ProxMu)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
 	}
 	return nil
 }

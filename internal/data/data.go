@@ -59,6 +59,23 @@ func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
 	return x, d.Y[lo:hi]
 }
 
+// BatchInto copies samples [lo, hi) into dst, which must hold exactly
+// (hi-lo)·C·H·W values, and returns the matching label view — the
+// allocation-free variant of Batch for callers that recycle batch
+// buffers through an arena.
+func (d *Dataset) BatchInto(dst []float64, lo, hi int) []int {
+	if lo < 0 || hi > d.Len() || lo >= hi {
+		panic(fmt.Sprintf("data: bad batch range [%d,%d) of %d", lo, hi, d.Len()))
+	}
+	c, h, w := d.Spec()
+	sz := c * h * w
+	if len(dst) != (hi-lo)*sz {
+		panic(fmt.Sprintf("data: BatchInto buffer has %d values, batch needs %d", len(dst), (hi-lo)*sz))
+	}
+	copy(dst, d.X.Data()[lo*sz:hi*sz])
+	return d.Y[lo:hi]
+}
+
 // Shuffle permutes the dataset in place using g.
 func (d *Dataset) Shuffle(g *tensor.RNG) {
 	c, h, w := d.Spec()

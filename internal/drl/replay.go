@@ -9,6 +9,7 @@ package drl
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fedmigr/internal/tensor"
 )
@@ -27,13 +28,15 @@ type Transition struct {
 // PERBuffer is the prioritized experience replay buffer of Sec. III-D2.
 // Priorities follow Eq. (25): ρ_z = ε·|φ_z| + (1−ε)·|∇aQ|; sampling
 // probabilities follow Eq. (26): P(z) ∝ ρ_z^ξ; importance-sampling weights
-// follow Eq. (29).
+// follow Eq. (29). The buffer is safe for concurrent use: the scheduler may
+// run the agent's replay updates alongside parallel client training.
 type PERBuffer struct {
 	// Epsilon is ε, the TD-error/gradient mixing weight.
 	Epsilon float64
 	// Xi is ξ, the prioritization exponent (0 = uniform sampling).
 	Xi float64
 
+	mu    sync.Mutex
 	cap   int
 	items []Transition
 	prio  []float64
@@ -55,11 +58,17 @@ func NewPERBuffer(capacity int, epsilon, xi float64, seed int64) *PERBuffer {
 }
 
 // Len returns the number of stored transitions.
-func (b *PERBuffer) Len() int { return len(b.items) }
+func (b *PERBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
 
 // Add stores a transition with maximal priority so every new experience is
 // replayed at least once soon.
 func (b *PERBuffer) Add(t Transition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(b.items) < b.cap {
 		b.items = append(b.items, t)
 		b.prio = append(b.prio, b.maxP)
@@ -82,6 +91,8 @@ func (b *PERBuffer) Priority(tdErr, gradNorm float64) float64 {
 // UpdatePriority reassigns a stored transition's priority after a training
 // pass (Alg. 1 line 16).
 func (b *PERBuffer) UpdatePriority(idx int, p float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if idx < 0 || idx >= len(b.prio) {
 		panic(fmt.Sprintf("drl: priority index %d out of range %d", idx, len(b.prio)))
 	}
@@ -94,7 +105,8 @@ func (b *PERBuffer) UpdatePriority(idx int, p float64) {
 	}
 }
 
-// probs materializes Eq. (26) over the current buffer.
+// probs materializes Eq. (26) over the current buffer. Callers must hold
+// b.mu.
 func (b *PERBuffer) probs() []float64 {
 	ps := make([]float64, len(b.prio))
 	sum := 0.0
@@ -119,6 +131,8 @@ func (b *PERBuffer) probs() []float64 {
 // returns their buffer indices, the transitions, and the normalized
 // importance-sampling weights of Eq. (29).
 func (b *PERBuffer) Sample(n int) (idx []int, ts []Transition, isw []float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(b.items) == 0 {
 		return nil, nil, nil
 	}
@@ -156,4 +170,8 @@ func (b *PERBuffer) Sample(n int) (idx []int, ts []Transition, isw []float64) {
 
 // SampleProbabilities exposes the current Eq. (26) distribution (testing
 // and diagnostics).
-func (b *PERBuffer) SampleProbabilities() []float64 { return b.probs() }
+func (b *PERBuffer) SampleProbabilities() []float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.probs()
+}

@@ -151,7 +151,10 @@ type CostModel struct {
 	Jitter float64
 
 	// computeScale multiplies specific clients' compute time (straggler
-	// injection); configure via SetComputeScale before the run starts.
+	// injection). Guarded by scaleMu: ComputeTime is called from the
+	// trainer's parallel client jobs while tests (and future dynamic fault
+	// plans) may adjust scales concurrently.
+	scaleMu      sync.RWMutex
 	computeScale map[int]float64
 
 	// C2COverride optionally pins the bandwidth of specific client pairs,
@@ -241,21 +244,26 @@ func (c *CostModel) TransferTime(i, j int, kind LinkKind, bytes int64) float64 {
 }
 
 // SetComputeScale makes client k's local computation factor× slower
-// (straggler injection; factor < 1 is clamped to 1). Not safe to call
-// concurrently with ComputeTime — configure before the run starts.
+// (straggler injection; factor < 1 is clamped to 1). Safe to call
+// concurrently with ComputeTime.
 func (c *CostModel) SetComputeScale(k int, factor float64) {
 	if factor < 1 {
 		factor = 1
 	}
+	c.scaleMu.Lock()
 	if c.computeScale == nil {
 		c.computeScale = map[int]float64{}
 	}
 	c.computeScale[k] = factor
+	c.scaleMu.Unlock()
 }
 
 // ComputeScale returns client k's straggler multiplier (1 by default).
 func (c *CostModel) ComputeScale(k int) float64 {
-	if f, ok := c.computeScale[k]; ok {
+	c.scaleMu.RLock()
+	f, ok := c.computeScale[k]
+	c.scaleMu.RUnlock()
+	if ok {
 		return f
 	}
 	return 1

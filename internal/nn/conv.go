@@ -65,7 +65,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, ch, h, w := c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3]
 	oh, ow := c.P.OutSize(h, w)
 	// Rearrange grad (N,F,OH,OW) to (N*OH*OW, F).
-	gm := tensor.New(n*oh*ow, f)
+	gm := tensor.GetScratch(n*oh*ow, f)
 	gd, gmd := grad.Data(), gm.Data()
 	for ni := 0; ni < n; ni++ {
 		for fi := 0; fi < f; fi++ {
@@ -81,7 +81,13 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dcols = gm · kmat ; dx = Col2Im(dcols).
 	kmat := c.K.Reshape(f, c.cols.Dim(1))
 	dcols := tensor.MatMul(gm, kmat)
-	return tensor.Col2Im(dcols, n, ch, h, w, c.P)
+	dx := tensor.Col2Im(dcols, n, ch, h, w, c.P)
+	// The cached im2col matrix and the gradient temp are dead: recycle
+	// them through the arena for the next batch.
+	tensor.PutScratch(gm)
+	tensor.PutScratch(c.cols)
+	c.cols = nil
+	return dx
 }
 
 // Params implements Layer.

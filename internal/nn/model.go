@@ -86,6 +86,21 @@ func (m *Sequential) ParamVector() *tensor.Tensor {
 	return v
 }
 
+// ParamVectorInto flattens all parameters into v, which must have size
+// NumParams() — the allocation-free variant of ParamVector for callers
+// that recycle vectors through an arena.
+func (m *Sequential) ParamVectorInto(v *tensor.Tensor) {
+	if v.Size() != m.NumParams() {
+		panic(fmt.Sprintf("nn: parameter vector size %d does not match model size %d", v.Size(), m.NumParams()))
+	}
+	off := 0
+	ps, _ := m.Params()
+	for _, p := range ps {
+		copy(v.Data()[off:off+p.Size()], p.Data())
+		off += p.Size()
+	}
+}
+
 // SetParamVector loads a flat parameter vector produced by ParamVector.
 func (m *Sequential) SetParamVector(v *tensor.Tensor) {
 	if v.Size() != m.NumParams() {

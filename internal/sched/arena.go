@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Arena is a size-classed recycling pool for float64 scratch buffers —
+// batch tensors, im2col matrices, gradient temporaries — that otherwise
+// dominate the trainer's allocation profile (one fresh batch tensor per
+// mini-batch per client per epoch). Buffers are grouped in power-of-two
+// classes backed by sync.Pool, so concurrent clients share one arena
+// without locking beyond sync.Pool's own sharding.
+//
+// Get returns zeroed memory: the tensor kernels (accumulating matmuls,
+// im2col padding cells, col2im scatters) all rely on zero-initialized
+// output, and a cleared buffer keeps recycled memory bit-equivalent to a
+// fresh allocation — part of the determinism contract.
+type Arena struct {
+	classes [maxClass + 1]sync.Pool
+}
+
+// maxClass caps pooled buffers at 2^26 floats (512 MB); anything larger
+// falls through to the garbage collector.
+const maxClass = 26
+
+// sizeClass returns the smallest class whose capacity holds n, or -1 when
+// n is too large to pool.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c > maxClass {
+		return -1
+	}
+	return c
+}
+
+// Get returns a zeroed buffer of length n.
+func (a *Arena) Get(n int) []float64 {
+	if n < 0 {
+		panic("sched: negative arena request")
+	}
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := a.classes[c].Get(); v != nil {
+		buf := v.([]float64)[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// Put recycles a buffer obtained from Get. Buffers whose capacity is not
+// an exact class size (or that are too large) are dropped for the GC.
+// The caller must not retain the slice after Put.
+func (a *Arena) Put(buf []float64) {
+	c := sizeClass(cap(buf))
+	if c < 0 || cap(buf) != 1<<c {
+		return
+	}
+	a.classes[c].Put(buf[:cap(buf)]) //nolint:staticcheck // slices are pointer-shaped since go1.21
+}
+
+// defaultArena backs the package-level helpers shared by the tensor
+// kernels and the trainer's batch buffers.
+var defaultArena Arena
+
+// GetBuf returns a zeroed length-n buffer from the shared arena.
+func GetBuf(n int) []float64 { return defaultArena.Get(n) }
+
+// PutBuf recycles a buffer obtained from GetBuf.
+func PutBuf(buf []float64) { defaultArena.Put(buf) }

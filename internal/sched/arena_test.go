@@ -1,0 +1,74 @@
+package sched
+
+import "testing"
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+		{1 << maxClass, maxClass}, {1<<maxClass + 1, -1},
+	}
+	for _, c := range cases {
+		if got := sizeClass(c.n); got != c.class {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+// A recycled buffer must be indistinguishable from a fresh allocation:
+// the kernels accumulate into (and rely on zero padding of) arena memory.
+func TestGetReturnsZeroedRecycledMemory(t *testing.T) {
+	var a Arena
+	buf := a.Get(100)
+	if len(buf) != 100 {
+		t.Fatalf("Get(100) length %d", len(buf))
+	}
+	for i := range buf {
+		buf[i] = float64(i) + 1
+	}
+	a.Put(buf)
+	again := a.Get(90) // same class, shorter request
+	if len(again) != 90 {
+		t.Fatalf("Get(90) length %d", len(again))
+	}
+	for i, v := range again {
+		if v != 0 {
+			t.Fatalf("recycled buffer dirty at %d: %v", i, v)
+		}
+	}
+}
+
+func TestPutDropsForeignBuffers(t *testing.T) {
+	var a Arena
+	// Capacity 100 is not a power of two: Put must refuse to pool it, and
+	// the arena must keep serving correct buffers afterwards.
+	a.Put(make([]float64, 100))
+	buf := a.Get(100)
+	if len(buf) != 100 || cap(buf) != 128 {
+		t.Fatalf("Get(100) after foreign Put: len=%d cap=%d", len(buf), cap(buf))
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	var a Arena
+	n := 1<<maxClass + 1
+	buf := a.Get(n)
+	if len(buf) != n {
+		t.Fatalf("oversize Get length %d, want %d", len(buf), n)
+	}
+	a.Put(buf) // must not panic
+}
+
+func TestPackageHelpersShareArena(t *testing.T) {
+	b := GetBuf(64)
+	for i := range b {
+		b[i] = 7
+	}
+	PutBuf(b)
+	c := GetBuf(64)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("GetBuf returned dirty memory at %d: %v", i, v)
+		}
+	}
+	PutBuf(c)
+}

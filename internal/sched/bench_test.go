@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// spin is a tiny deterministic unit of CPU work.
+func spin(n int) float64 {
+	s := 1.0
+	for i := 0; i < n; i++ {
+		s += s * 1e-9
+	}
+	return s
+}
+
+var benchSink atomic.Int64
+
+func BenchmarkForEach(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := New(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ForEach("", 64, func(j int) {
+					benchSink.Add(int64(spin(2000)))
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := New(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ParallelFor(1<<14, 1<<10, func(lo, hi int) {
+					benchSink.Add(int64(spin(hi - lo)))
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkArenaGetPut measures the recycling fast path against the
+// allocate-every-time baseline it replaces.
+func BenchmarkArenaGetPut(b *testing.B) {
+	var a Arena
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := a.Get(4096)
+		a.Put(buf)
+	}
+}
+
+func BenchmarkArenaMakeBaseline(b *testing.B) {
+	b.ReportAllocs()
+	var keep []float64
+	for i := 0; i < b.N; i++ {
+		keep = make([]float64, 4096)
+	}
+	_ = keep
+}

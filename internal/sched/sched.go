@@ -1,0 +1,243 @@
+// Package sched is the deterministic parallel execution runtime of the
+// reproduction: a worker pool that parallelizes both the federated
+// trainer's per-client work and the tensor kernels underneath it, plus a
+// size-classed buffer arena that recycles scratch memory across clients.
+//
+// Determinism contract (DESIGN.md §5): the pool never decides *what* is
+// computed or *in which order* results are combined — callers split work
+// into jobs that write disjoint outputs and reduce those outputs on the
+// calling goroutine in a fixed (index) order. Under that contract a run
+// with N workers is bit-for-bit identical to a serial run, which the
+// parity tests in internal/tensor and the end-to-end workers=1-vs-8 test
+// in the root package verify.
+//
+// Deadlock freedom: the pool is a counting semaphore of workers−1 borrow
+// tokens, not a job queue. A parallel region spawns helper goroutines only
+// while tokens are available and otherwise runs the job inline on the
+// caller — so nested parallel regions (a parallel client epoch calling
+// parallel matmuls) degrade to inline execution instead of waiting on a
+// saturated queue, and total concurrency stays bounded by Workers.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedmigr/internal/telemetry"
+)
+
+// Pool is a bounded-concurrency executor. The nil Pool and the 1-worker
+// Pool are valid and run everything serially on the caller, so call sites
+// need no branching. Pools are safe for concurrent use.
+type Pool struct {
+	workers int
+	sem     chan struct{} // workers−1 borrow tokens for helper goroutines
+
+	// Telemetry (nil and free until SetTelemetry installs instruments).
+	mJobs     *telemetry.Counter
+	mInline   *telemetry.Counter
+	mRegions  *telemetry.Counter
+	gWorkers  *telemetry.Gauge
+	gInflight *telemetry.Gauge
+	hJob      *telemetry.Histogram
+	hRegion   *telemetry.Histogram
+	tel       *telemetry.Telemetry
+	inflight  atomic.Int64
+}
+
+// New returns a pool running at most workers jobs concurrently (the
+// caller's goroutine counts as one). workers <= 0 selects
+// runtime.NumCPU(), the -workers CLI default.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the pool's concurrency bound (1 for the nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// SetTelemetry installs the sched_* instruments: job/region counters, the
+// sched_inflight depth gauge, and job/region latency histograms whose
+// sums double as busy-seconds for utilization (busy ÷ elapsed·workers).
+// A nil tel detaches them.
+func (p *Pool) SetTelemetry(tel *telemetry.Telemetry) {
+	if p == nil {
+		return
+	}
+	p.tel = tel
+	if tel == nil {
+		p.mJobs, p.mInline, p.mRegions = nil, nil, nil
+		p.gWorkers, p.gInflight, p.hJob, p.hRegion = nil, nil, nil, nil
+		return
+	}
+	p.mJobs = tel.Counter("sched_jobs_total")
+	p.mInline = tel.Counter("sched_inline_jobs_total")
+	p.mRegions = tel.Counter("sched_regions_total")
+	p.gWorkers = tel.Gauge("sched_workers")
+	p.gInflight = tel.Gauge("sched_inflight")
+	p.hJob = tel.Histogram("sched_job_seconds", telemetry.ExpBuckets(1e-6, 4, 12))
+	p.hRegion = tel.Histogram("sched_region_seconds", telemetry.ExpBuckets(1e-6, 4, 12))
+	p.gWorkers.Set(float64(p.workers))
+}
+
+// panicBox captures the first panic raised inside a helper goroutine so
+// the region can re-raise it on the calling goroutine after all helpers
+// drain (a bare goroutine panic would kill the process before tests could
+// observe it).
+type panicBox struct {
+	once sync.Once
+	val  any
+}
+
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		b.once.Do(func() { b.val = r })
+	}
+}
+
+func (b *panicBox) rethrow() {
+	if b.val != nil {
+		panic(b.val)
+	}
+}
+
+// ForEach runs fn(0) … fn(n−1), distributing indices over up to Workers
+// goroutines (the caller included). Jobs are claimed dynamically so
+// heterogeneous per-index costs balance, which is safe because callers
+// must write only index-private state; any cross-index reduction happens
+// after ForEach returns, in whatever fixed order the caller chooses.
+// region labels the telemetry span ("" suppresses the span but keeps the
+// counters). A panic in any job is re-raised on the caller.
+func (p *Pool) ForEach(region string, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var sp telemetry.Span
+	if region != "" && p.tel != nil {
+		sp = p.tel.Begin("sched_region", "region", region, "jobs", n)
+	}
+	start := time.Now()
+	var next atomic.Int64
+	var box panicBox
+	loop := func() {
+		defer box.capture()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			p.runJob(i, fn)
+		}
+	}
+	var wg sync.WaitGroup
+	spawned := 0
+	for h := 0; h < p.workers-1 && h < n-1; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			spawned++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				loop()
+			}()
+		default:
+			h = p.workers // no token free: the caller alone drains the rest
+		}
+	}
+	loop()
+	wg.Wait()
+	p.mRegions.Inc()
+	p.hRegion.Observe(time.Since(start).Seconds())
+	if region != "" && p.tel != nil {
+		sp.End("helpers", spawned)
+	}
+	box.rethrow()
+}
+
+// runJob executes one claimed index with per-job accounting.
+func (p *Pool) runJob(i int, fn func(int)) {
+	if p.hJob == nil {
+		fn(i)
+		return
+	}
+	p.gInflight.Set(float64(p.inflight.Add(1)))
+	t0 := time.Now()
+	defer func() {
+		p.hJob.Observe(time.Since(t0).Seconds())
+		p.gInflight.Set(float64(p.inflight.Add(-1)))
+		p.mJobs.Inc()
+	}()
+	fn(i)
+}
+
+// ParallelFor splits the index range [0, n) into at most Workers
+// contiguous chunks of at least grain indices and runs fn(lo, hi) on each
+// — the shape tensor kernels need, where each chunk writes a disjoint
+// slice of the output and per-element arithmetic order is unchanged, so
+// the result is bit-identical to fn(0, n). Chunks that cannot borrow a
+// helper token (pool saturated by an enclosing region) run inline on the
+// caller. A panic in any chunk is re-raised on the caller.
+func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p == nil || p.workers <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > p.workers {
+		chunks = p.workers
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	start := time.Now()
+	var wg sync.WaitGroup
+	var box panicBox
+	for c := 1; c*size < n; c++ {
+		lo, hi := c*size, (c+1)*size
+		if hi > n {
+			hi = n
+		}
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				defer box.capture()
+				fn(lo, hi)
+			}(lo, hi)
+		default:
+			p.mInline.Inc()
+			fn(lo, hi)
+		}
+	}
+	fn(0, size) // the caller's own chunk
+	wg.Wait()
+	p.mRegions.Inc()
+	p.hRegion.Observe(time.Since(start).Seconds())
+	box.rethrow()
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fedmigr/internal/telemetry"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		const n = 257
+		var hits [n]atomic.Int64
+		p.ForEach("test", n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachNilPoolAndZeroJobs(t *testing.T) {
+	var p *Pool
+	ran := 0
+	p.ForEach("test", 3, func(i int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d of 3 jobs", ran)
+	}
+	p.ForEach("test", 0, func(i int) { t.Fatal("job ran for n=0") })
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", p.Workers())
+	}
+}
+
+func TestParallelForCoversRangeDisjointly(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{1, 7, 64, 1000} {
+			p := New(workers)
+			marks := make([]atomic.Int64, n)
+			p.ParallelFor(n, 3, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) of %d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					marks[i].Add(1)
+				}
+			})
+			for i := range marks {
+				if got := marks[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d written %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// Nested regions must not deadlock: outer jobs exhaust the helper tokens
+// and inner regions fall back to inline execution.
+func TestNestedRegionsDoNotDeadlock(t *testing.T) {
+	p := New(4)
+	var total atomic.Int64
+	p.ForEach("outer", 16, func(i int) {
+		p.ParallelFor(100, 10, func(lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+	})
+	if total.Load() != 1600 {
+		t.Fatalf("nested regions processed %d of 1600 units", total.Load())
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	p := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in a job did not reach the caller")
+		}
+	}()
+	p.ForEach("test", 64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}
+
+func TestParallelForPanicPropagates(t *testing.T) {
+	p := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in a chunk did not reach the caller")
+		}
+	}()
+	p.ParallelFor(64, 1, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must select at least one worker")
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d", got)
+	}
+}
+
+func TestSetTelemetryCountsRegions(t *testing.T) {
+	tel := telemetry.New()
+	p := New(4)
+	p.SetTelemetry(tel)
+	p.ForEach("region_a", 32, func(i int) {})
+	p.ParallelFor(32, 1, func(lo, hi int) {})
+	snap := tel.Registry().Snapshot()
+	if snap.Counters["sched_regions_total"] < 2 {
+		t.Fatalf("sched_regions_total = %d, want >= 2", snap.Counters["sched_regions_total"])
+	}
+	if snap.Gauges["sched_workers"] != 4 {
+		t.Fatalf("sched_workers = %v, want 4", snap.Gauges["sched_workers"])
+	}
+	if snap.Counters["sched_jobs_total"] == 0 {
+		t.Fatal("sched_jobs_total not incremented")
+	}
+	// Detaching must be safe and silence further accounting.
+	p.SetTelemetry(nil)
+	p.ForEach("region_b", 8, func(i int) {})
+}

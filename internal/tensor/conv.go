@@ -34,29 +34,36 @@ func Im2Col(x *Tensor, p ConvParams) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col output size %dx%d for input %v params %+v", oh, ow, x.shape, p))
 	}
-	cols := New(n*oh*ow, c*p.KernelH*p.KernelW)
 	colW := c * p.KernelH * p.KernelW
-	for ni := 0; ni < n; ni++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				rowOff := ((ni*oh+oy)*ow + ox) * colW
-				col := 0
-				for ci := 0; ci < c; ci++ {
-					base := (ni*c + ci) * h * w
-					for ky := 0; ky < p.KernelH; ky++ {
-						iy := oy*p.StrideH - p.PadH + ky
-						for kx := 0; kx < p.KernelW; kx++ {
-							ix := ox*p.StrideW - p.PadW + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								cols.data[rowOff+col] = x.data[base+iy*w+ix]
-							}
-							col++
+	// Arena-backed: im2col matrices are the largest short-lived buffers in
+	// CNN training. Callers that use the matrix as a temporary recycle it
+	// with PutScratch; callers that cache it simply let the GC have it.
+	cols := GetScratch(n*oh*ow, colW)
+	// Each output row (one receptive field) is written by exactly one
+	// worker; padding cells rely on the zero-initialized backing store.
+	rows := n * oh * ow
+	parFor(rows, rows*colW, func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			ni := r / (oh * ow)
+			oy := (r / ow) % oh
+			ox := r % ow
+			rowOff := r * colW
+			col := 0
+			for ci := 0; ci < c; ci++ {
+				base := (ni*c + ci) * h * w
+				for ky := 0; ky < p.KernelH; ky++ {
+					iy := oy*p.StrideH - p.PadH + ky
+					for kx := 0; kx < p.KernelW; kx++ {
+						ix := ox*p.StrideW - p.PadW + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							cols.data[rowOff+col] = x.data[base+iy*w+ix]
 						}
+						col++
 					}
 				}
 			}
 		}
-	}
+	})
 	return cols
 }
 
@@ -71,13 +78,20 @@ func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
 		panic(fmt.Sprintf("tensor: Col2Im shape mismatch %v for output %dx%dx%dx%d", cols.shape, n, c, h, w))
 	}
 	x := New(n, c, h, w)
-	for ni := 0; ni < n; ni++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				rowOff := ((ni*oh+oy)*ow + ox) * colW
-				col := 0
-				for ci := 0; ci < c; ci++ {
-					base := (ni*c + ci) * h * w
+	// Overlapping patches accumulate, so the split is over (sample,
+	// channel) planes — all writes for plane (ni, ci) land inside its own
+	// h·w block, and within a plane the (oy, ox, ky, kx) visit order (and
+	// hence each element's accumulation order) matches the serial scatter.
+	planes := n * c
+	parFor(planes, planes*oh*ow*p.KernelH*p.KernelW, func(plo, phi int) {
+		for pl := plo; pl < phi; pl++ {
+			ni, ci := pl/c, pl%c
+			base := pl * h * w
+			colBase := ci * p.KernelH * p.KernelW
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					rowOff := ((ni*oh+oy)*ow+ox)*colW + colBase
+					col := 0
 					for ky := 0; ky < p.KernelH; ky++ {
 						iy := oy*p.StrideH - p.PadH + ky
 						for kx := 0; kx < p.KernelW; kx++ {
@@ -91,7 +105,7 @@ func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return x
 }
 
@@ -111,21 +125,24 @@ func Conv2D(x, k, b *Tensor, p ConvParams) *Tensor {
 	cols := Im2Col(x, p)                        // (N*OH*OW, C*KH*KW)
 	kmat := k.Reshape(f, c*p.KernelH*p.KernelW) // (F, C*KH*KW)
 	out := MatMulTransB(cols, kmat)             // (N*OH*OW, F)
+	PutScratch(cols)
 	res := New(n, f, oh, ow)
-	for ni := 0; ni < n; ni++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := ((ni*oh+oy)*ow + ox) * f
-				for fi := 0; fi < f; fi++ {
-					v := out.data[row+fi]
-					if b != nil {
-						v += b.data[fi]
+	parFor(n, n*f*oh*ow, func(nlo, nhi int) {
+		for ni := nlo; ni < nhi; ni++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := ((ni*oh+oy)*ow + ox) * f
+					for fi := 0; fi < f; fi++ {
+						v := out.data[row+fi]
+						if b != nil {
+							v += b.data[fi]
+						}
+						res.data[((ni*f+fi)*oh+oy)*ow+ox] = v
 					}
-					res.data[((ni*f+fi)*oh+oy)*ow+ox] = v
 				}
 			}
 		}
-	}
+	})
 	return res
 }
 
@@ -141,9 +158,12 @@ func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int) {
 	oh, ow := p.OutSize(h, w)
 	out := New(n, c, oh, ow)
 	arg := make([]int, out.Size())
-	for ni := 0; ni < n; ni++ {
-		for ci := 0; ci < c; ci++ {
-			base := (ni*c + ci) * h * w
+	// Pooling planes are independent: worker-private (ni, ci) blocks.
+	planes := n * c
+	parFor(planes, planes*oh*ow*p.KernelH*p.KernelW, func(plo, phi int) {
+		for pl := plo; pl < phi; pl++ {
+			ni, ci := pl/c, pl%c
+			base := pl * h * w
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					best, bi := 0.0, -1
@@ -169,7 +189,7 @@ func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int) {
 				}
 			}
 		}
-	}
+	})
 	return out, arg
 }
 
@@ -177,10 +197,25 @@ func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int) {
 // input-shaped gradient using the argmax indices from MaxPool2D.
 func MaxPool2DBackward(g *Tensor, arg []int, inShape []int) *Tensor {
 	dx := New(inShape...)
-	for i, a := range arg {
-		if a >= 0 {
-			dx.data[a] += g.data[i]
+	// Each (sample, channel) plane's argmax indices point inside that
+	// plane, so a plane split keeps scatter-accumulation worker-private
+	// and in serial element order.
+	planes := inShape[0] * inShape[1]
+	if planes == 0 || len(arg)%planes != 0 {
+		for i, a := range arg {
+			if a >= 0 {
+				dx.data[a] += g.data[i]
+			}
 		}
+		return dx
 	}
+	opl := len(arg) / planes
+	parFor(planes, len(arg)*2, func(plo, phi int) {
+		for i := plo * opl; i < phi*opl; i++ {
+			if a := arg[i]; a >= 0 {
+				dx.data[a] += g.data[i]
+			}
+		}
+	})
 	return dx
 }

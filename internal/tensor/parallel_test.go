@@ -1,0 +1,200 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fedmigr/internal/sched"
+)
+
+func randTensor(g *RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = g.NormFloat64()
+	}
+	return t
+}
+
+func withPool(workers int, fn func()) {
+	prev := InstallPool(sched.New(workers))
+	defer InstallPool(prev)
+	fn()
+}
+
+// requireBitEqual fails unless a and b match bit for bit — tolerance-free:
+// the determinism contract promises identical floats, not close ones.
+func requireBitEqual(t *testing.T, name string, serial, parallel *Tensor) {
+	t.Helper()
+	if !serial.SameShape(parallel) {
+		t.Fatalf("%s: shape %v vs %v", name, serial.Shape(), parallel.Shape())
+	}
+	sd, pd := serial.Data(), parallel.Data()
+	for i := range sd {
+		if math.Float64bits(sd[i]) != math.Float64bits(pd[i]) {
+			t.Fatalf("%s: element %d differs: %v (serial) vs %v (parallel)",
+				name, i, sd[i], pd[i])
+		}
+	}
+}
+
+var parityWorkers = []int{2, 3, 8}
+
+// TestMatMulParity checks every matmul variant across shapes spanning the
+// serial-fallback threshold: parallel results must be bit-identical.
+func TestMatMulParity(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {17, 9, 13}, // below threshold: serial path
+		{64, 64, 64}, {50, 200, 30}, {129, 65, 33}, // above: parallel path
+	}
+	for _, s := range shapes {
+		g := NewRNG(42)
+		a := randTensor(g, s.m, s.k)
+		bm := randTensor(g, s.k, s.n)
+		at := randTensor(g, s.k, s.m) // for MatMulTransA: (k, m)
+		bt := randTensor(g, s.n, s.k) // for MatMulTransB: (n, k)
+		// Sparsity matters: the kernels skip av == 0 terms, and the skip
+		// must behave identically in both paths (0.0 + -0.0 pitfalls).
+		a.Data()[0] = 0
+		at.Data()[0] = 0
+		mm := MatMul(a, bm)
+		ma := MatMulTransA(at, bm)
+		mb := MatMulTransB(a, bt)
+		for _, w := range parityWorkers {
+			withPool(w, func() {
+				requireBitEqual(t, "MatMul", mm, MatMul(a, bm))
+				requireBitEqual(t, "MatMulTransA", ma, MatMulTransA(at, bm))
+				requireBitEqual(t, "MatMulTransB", mb, MatMulTransB(a, bt))
+			})
+		}
+	}
+}
+
+func TestConvKernelParity(t *testing.T) {
+	cases := []struct {
+		n, c, h, w int
+		p          ConvParams
+	}{
+		{1, 1, 4, 4, ConvParams{KernelH: 2, KernelW: 2, StrideH: 1, StrideW: 1}},
+		{2, 3, 8, 8, ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}},
+		{4, 3, 10, 10, ConvParams{KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}},
+		{8, 4, 9, 7, ConvParams{KernelH: 3, KernelW: 2, StrideH: 1, StrideW: 2}},
+	}
+	for _, tc := range cases {
+		g := NewRNG(7)
+		x := randTensor(g, tc.n, tc.c, tc.h, tc.w)
+		oh, ow := tc.p.OutSize(tc.h, tc.w)
+		colW := tc.c * tc.p.KernelH * tc.p.KernelW
+		cols := randTensor(g, tc.n*oh*ow, colW)
+		f := 5
+		k := randTensor(g, f, tc.c, tc.p.KernelH, tc.p.KernelW)
+		bias := randTensor(g, f)
+
+		im := Im2Col(x, tc.p)
+		c2i := Col2Im(cols, tc.n, tc.c, tc.h, tc.w, tc.p)
+		conv := Conv2D(x, k, bias, tc.p)
+		for _, w := range parityWorkers {
+			withPool(w, func() {
+				requireBitEqual(t, "Im2Col", im, Im2Col(x, tc.p))
+				requireBitEqual(t, "Col2Im", c2i, Col2Im(cols, tc.n, tc.c, tc.h, tc.w, tc.p))
+				requireBitEqual(t, "Conv2D", conv, Conv2D(x, k, bias, tc.p))
+			})
+		}
+	}
+}
+
+func TestMaxPoolParity(t *testing.T) {
+	cases := []struct {
+		n, c, h, w int
+		p          ConvParams
+	}{
+		{2, 3, 8, 8, ConvParams{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}},
+		{4, 2, 9, 9, ConvParams{KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2}},
+		{16, 8, 8, 8, ConvParams{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}},
+	}
+	for _, tc := range cases {
+		g := NewRNG(11)
+		x := randTensor(g, tc.n, tc.c, tc.h, tc.w)
+		out, arg := MaxPool2D(x, tc.p)
+		grad := randTensor(g, out.Shape()...)
+		back := MaxPool2DBackward(grad, arg, x.Shape())
+		for _, w := range parityWorkers {
+			withPool(w, func() {
+				pout, parg := MaxPool2D(x, tc.p)
+				requireBitEqual(t, "MaxPool2D", out, pout)
+				for i := range arg {
+					if arg[i] != parg[i] {
+						t.Fatalf("MaxPool2D argmax %d differs: %d vs %d", i, arg[i], parg[i])
+					}
+				}
+				requireBitEqual(t, "MaxPool2DBackward", back, MaxPool2DBackward(grad, arg, x.Shape()))
+			})
+		}
+	}
+}
+
+// TestScratchRoundTrip exercises the arena-backed scratch tensors: recycled
+// buffers must come back zeroed with the right geometry.
+func TestScratchRoundTrip(t *testing.T) {
+	s := GetScratch(4, 8)
+	if s.Dim(0) != 4 || s.Dim(1) != 8 || s.Size() != 32 {
+		t.Fatalf("GetScratch geometry: %v", s.Shape())
+	}
+	for i := range s.Data() {
+		s.Data()[i] = 3
+	}
+	PutScratch(s)
+	s2 := GetScratch(4, 8)
+	for i, v := range s2.Data() {
+		if v != 0 {
+			t.Fatalf("recycled scratch dirty at %d: %v", i, v)
+		}
+	}
+	PutScratch(s2)
+	PutScratch(nil) // must be a no-op
+}
+
+func benchPool(b *testing.B, workers int) {
+	b.Helper()
+	prev := InstallPool(sched.New(workers))
+	b.Cleanup(func() { InstallPool(prev) })
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			benchPool(b, workers)
+			g := NewRNG(1)
+			x := randTensor(g, 128, 256)
+			y := randTensor(g, 256, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			benchPool(b, workers)
+			g := NewRNG(1)
+			p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+			x := randTensor(g, 32, 3, 8, 8)
+			k := randTensor(g, 16, 3, 3, 3)
+			bias := randTensor(g, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Conv2D(x, k, bias, p)
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return fmt.Sprintf("workers=%d", workers)
+}

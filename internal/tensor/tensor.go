@@ -346,20 +346,24 @@ func MatMul(a, b *Tensor) *Tensor {
 	}
 	c := New(m, n)
 	// ikj loop order: streams B rows, good cache behaviour without blocking.
-	for i := 0; i < m; i++ {
-		ar := a.data[i*k : (i+1)*k]
-		cr := c.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ar[p]
-			if av == 0 {
-				continue
-			}
-			br := b.data[p*n : (p+1)*n]
-			for j, bv := range br {
-				cr[j] += av * bv
+	// Output rows are independent, so the parallel split is over i with the
+	// per-row accumulation order unchanged (bit-identical to serial).
+	parFor(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.data[i*k : (i+1)*k]
+			cr := c.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				if av == 0 {
+					continue
+				}
+				br := b.data[p*n : (p+1)*n]
+				for j, bv := range br {
+					cr[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -374,18 +378,20 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %vᵀ", a.shape, b.shape))
 	}
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		ar := a.data[i*k : (i+1)*k]
-		cr := c.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			br := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range ar {
-				s += av * br[p]
+	parFor(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.data[i*k : (i+1)*k]
+			cr := c.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				br := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range ar {
+					s += av * br[p]
+				}
+				cr[j] = s
 			}
-			cr[j] = s
 		}
-	}
+	})
 	return c
 }
 
@@ -400,19 +406,24 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ × %v", a.shape, b.shape))
 	}
 	c := New(m, n)
-	for p := 0; p < k; p++ {
-		ar := a.data[p*m : (p+1)*m]
-		br := b.data[p*n : (p+1)*n]
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
+	// Output-row split: each row i accumulates over p in ascending order,
+	// exactly the per-element order of the classic p-outer loop, so serial
+	// and parallel paths agree bit-for-bit.
+	parFor(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			cr := c.data[i*n : (i+1)*n]
-			for j, bv := range br {
-				cr[j] += av * bv
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				br := b.data[p*n : (p+1)*n]
+				for j, bv := range br {
+					cr[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 

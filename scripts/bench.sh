@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# bench.sh — runs the scheduler-related benchmarks (sched primitives,
+# parallel tensor kernels, the 50-client trainer round) across worker
+# counts and writes BENCH_sched.json: one record per (op, workers) with
+# ns/op, allocs/op and the speedup against that op's workers=1 baseline.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5x scripts/bench.sh   # longer runs for stabler numbers
+#
+# The `cores` field records how many CPUs the host actually had: speedups
+# can only materialize up to that bound (workers beyond cores add nothing
+# but scheduling noise).
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sched.json}"
+benchtime="${BENCHTIME:-2x}"
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkForEach|BenchmarkParallelFor|BenchmarkArena' -benchtime "$benchtime" ./internal/sched | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkMatMul$|BenchmarkConv2D$' -benchtime "$benchtime" ./internal/tensor | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkTrainerRound' -benchtime "$benchtime" . | tee -a "$tmp"
+
+awk -v cores="$cores" '
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the GOMAXPROCS suffix
+    workers = 1
+    if (match(name, /workers=[0-9]+/))
+        workers = substr(name, RSTART + 8, RLENGTH - 8) + 0
+    op = name
+    sub(/^Benchmark/, "", op)
+    sub(/\/?(clients=[0-9]+\/)?workers=[0-9]+/, "", op)
+    ns = $3 + 0
+    allocs = "null"
+    for (i = 1; i <= NF; i++)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    n++
+    ops[n] = op; ws[n] = workers; nss[n] = ns; als[n] = allocs
+    if (workers == 1 && !(op in base)) base[op] = ns
+}
+END {
+    printf "[\n"
+    for (i = 1; i <= n; i++) {
+        sp = (ops[i] in base && nss[i] > 0) ? base[ops[i]] / nss[i] : 1
+        printf "  {\"op\": \"%s\", \"workers\": %d, \"ns_per_op\": %.1f, \"allocs_per_op\": %s, \"speedup_vs_serial\": %.3f, \"cores\": %d}%s\n", \
+            ops[i], ws[i], nss[i], als[i], sp, cores, (i < n ? "," : "")
+    }
+    printf "]\n"
+}' "$tmp" > "$out"
+
+echo "bench.sh: wrote $out ($(grep -c '"op"' "$out") records, $cores cores)"

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # check.sh — the repo's pre-commit gate: formatting, vet, build, the full
 # test suite under the race detector (including the chaos fault-injection
-# session), and a short fuzz smoke over the wire-frame decoder.
+# session and the parallel-vs-serial parity tests), a trainer benchmark
+# smoke, and a short fuzz smoke over the wire-frame decoder.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,12 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# Determinism parity under the race detector: parallel kernels and the
+# worker-invariance proofs run again explicitly so a -run filter in the
+# suite above can never silently skip them.
+go test -race -run 'Parity|WorkerCountInvariance|ParallelRunMatchesSerial' ./internal/tensor ./internal/core .
+# Scheduler benchmark smoke: one iteration of the 50-client round at each
+# worker count (compile + run sanity, not a measurement).
+go test -run '^$' -bench 'BenchmarkTrainer' -benchtime=1x .
 go test -run '^$' -fuzz FuzzReadMessage -fuzztime 10s ./internal/fednet
 echo "check.sh: all checks passed"
