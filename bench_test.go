@@ -56,7 +56,7 @@ func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
 func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
 
-// Extension artifacts (DESIGN.md §7): component ablations, the Sec. II-C
+// Extension artifacts (DESIGN.md §8): component ablations, the Sec. II-C
 // theory check, and the sync-vs-async comparison.
 func BenchmarkAblations(b *testing.B)  { benchExperiment(b, "abl") }
 func BenchmarkDivergence(b *testing.B) { benchExperiment(b, "div") }

@@ -1,0 +1,110 @@
+// fedmigr-lint runs the repository's project-specific static analyzers
+// (internal/analysis/analyzers) over Go package patterns and exits
+// non-zero on findings, making the runtime's hand-written invariants —
+// determinism zones, lock discipline, error handling, telemetry naming,
+// float comparison hygiene — build-time checks instead of flaky test
+// failures.
+//
+// Usage:
+//
+//	fedmigr-lint [-json] [-only a,b] [-list] [patterns...]
+//
+// Patterns default to ./... and follow go-tool shape ("./...",
+// "./internal/fednet", "./internal/..."); testdata and vendor trees are
+// always pruned. Exit codes: 0 clean, 1 findings, 2 usage or load error.
+//
+// Findings can be suppressed in place, one line at a time, with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line above; the reason is mandatory and
+// a malformed directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fedmigr/internal/analysis"
+	"fedmigr/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fedmigr-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (one finding per line)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	verbose := fs.Bool("v", false, "also print soft type-check errors to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	regs := analyzers.All()
+	if *list {
+		for _, a := range regs {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range regs {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(stderr, "fedmigr-lint: unknown analyzer %q (see -list)\n", n)
+			return 2
+		}
+		regs = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "fedmigr-lint: %v\n", err)
+		return 2
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			for _, te := range p.TypeErrors {
+				fmt.Fprintf(stderr, "fedmigr-lint: typecheck %s: %v\n", p.ImportPath, te)
+			}
+		}
+	}
+
+	diags := analysis.Run(pkgs, regs)
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "fedmigr-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "fedmigr-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module named fedmigr so the loader's
+// import-path derivation puts files under the analyzers' real zones.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fedmigr\n\ngo 1.24\n"
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const dirtyCore = `package core
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+
+const cleanCore = `package core
+
+func Stamp() int64 {
+	return 42
+}
+`
+
+func TestRunFindingsExitOne(t *testing.T) {
+	t.Chdir(writeModule(t, map[string]string{
+		"internal/core/bad.go": dirtyCore,
+	}))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "time.Now") || !strings.Contains(stdout.String(), "(determinism)") {
+		t.Errorf("stdout missing determinism finding:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing summary line: %s", stderr.String())
+	}
+}
+
+func TestRunCleanExitZero(t *testing.T) {
+	t.Chdir(writeModule(t, map[string]string{
+		"internal/core/ok.go": cleanCore,
+	}))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote findings: %s", stdout.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	t.Chdir(writeModule(t, map[string]string{
+		"internal/core/bad.go": dirtyCore,
+	}))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 || diags[0].Analyzer != "determinism" {
+		t.Fatalf("unexpected JSON findings: %+v", diags)
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	t.Chdir(writeModule(t, map[string]string{
+		"internal/core/bad.go": dirtyCore,
+	}))
+	var stdout, stderr bytes.Buffer
+	// The determinism finding must vanish when only errcheck runs.
+	if code := run([]string{"-only", "errcheck", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunUnknownAnalyzerExitTwo(t *testing.T) {
+	t.Chdir(writeModule(t, map[string]string{
+		"internal/core/ok.go": cleanCore,
+	}))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestRunBadPatternExitTwo(t *testing.T) {
+	t.Chdir(writeModule(t, map[string]string{
+		"internal/core/ok.go": cleanCore,
+	}))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "lockcheck", "errcheck", "telemetrynames", "floatcmp"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package analysis is a stdlib-only static-analysis framework for this
+// repository: a small Pass/Diagnostic/Analyzer core on go/parser, go/ast
+// and go/types, a module-aware package loader, //lint:ignore suppression
+// comments, and machine-readable JSON findings.
+//
+// It exists because the runtime's correctness rests on invariants the
+// compiler cannot see — bit-identical parallel reduction needs every
+// deterministic path on seeded RNG streams and the injected telemetry
+// clock, fednet's quorum logic needs every Close/write error handled, and
+// the metric namespace must stay bounded. The analyzers under
+// internal/analysis/analyzers encode those invariants; cmd/fedmigr-lint
+// runs them over ./... and CI fails on findings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run is invoked once per loaded package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -only filters and
+	// //lint:ignore directives. It must be a lowercase identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards, shown by fedmigr-lint -list.
+	Doc string
+	// Run executes the check over pass.Pkg.
+	Run func(*Pass)
+}
+
+// A Pass carries one (analyzer, package) execution: the loaded syntax and
+// type information plus the reporting sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding with a stable, machine-readable shape (the
+// JSON field names are the -json output schema).
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int // the comment's own line
+	analyzers []string
+	reason    string
+	malformed string // non-empty when the directive itself is invalid
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// parseIgnores extracts every //lint:ignore directive from a file.
+// The accepted form is
+//
+//	//lint:ignore analyzer1[,analyzer2...] reason text
+//
+// and the directive suppresses matching findings reported on its own line
+// (trailing comment) or on the line immediately below (standalone
+// comment). A missing reason is itself a lint error: silent suppressions
+// are exactly what the directive log is meant to prevent.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := ignoreDirective{file: pos.Filename, line: pos.Line}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			names, reason, ok := strings.Cut(rest, " ")
+			if !ok || strings.TrimSpace(reason) == "" {
+				d.malformed = "missing reason: use //lint:ignore <analyzer> <reason>"
+			}
+			for _, n := range strings.Split(names, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					d.analyzers = append(d.analyzers, n)
+				}
+			}
+			if len(d.analyzers) == 0 {
+				d.malformed = "missing analyzer name: use //lint:ignore <analyzer> <reason>"
+			}
+			d.reason = strings.TrimSpace(reason)
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppresses reports whether directive d silences a finding from the
+// named analyzer at (file, line).
+func (d ignoreDirective) suppresses(analyzer, file string, line int) bool {
+	if d.malformed != "" || d.file != file {
+		return false
+	}
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving findings sorted by file, line, column and analyzer.
+// //lint:ignore directives filter matching findings; a malformed
+// directive is reported as a finding of the built-in "lint" pseudo-
+// analyzer so broken suppressions cannot silently pass.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, pkg := range pkgs {
+			for _, ig := range pkg.ignores {
+				if ig.suppresses(d.Analyzer, d.File, d.Line) {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, ig := range pkg.ignores {
+			if ig.malformed != "" {
+				kept = append(kept, Diagnostic{
+					Analyzer: "lint", File: ig.file, Line: ig.line, Col: 1,
+					Message: ig.malformed,
+				})
+			}
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,205 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedmigr/internal/analysis"
+)
+
+// testAnalyzer reports every function declaration, giving the framework
+// tests a predictable finding on a known line for each function name.
+var testAnalyzer = &analysis.Analyzer{
+	Name: "testan",
+	Doc:  "reports every function declaration (test helper)",
+	Run: func(pass *analysis.Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Name.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+	},
+}
+
+// loadSrc writes src as a single-file package in a temp dir and loads it.
+func loadSrc(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader().LoadDir(dir, "fedmigr/internal/testpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func TestSuppressionSemantics(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func A() {} //lint:ignore testan trailing directive covers its own line
+
+//lint:ignore testan standalone directive covers the next line
+func B() {}
+
+//lint:ignore other directive naming a different analyzer must not match
+func C() {}
+
+func D() {}
+`)
+	got := messages(analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{testAnalyzer}))
+	want := []string{"testan: func C", "testan: func D"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+}
+
+func TestMultiAnalyzerDirective(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+//lint:ignore other,testan comma list names several analyzers
+func A() {}
+`)
+	got := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{testAnalyzer})
+	if len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none (testan listed in comma group)", messages(got))
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+//lint:ignore testan
+func E() {}
+`)
+	got := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{testAnalyzer})
+	var lintMsgs, testanMsgs []string
+	for _, d := range got {
+		switch d.Analyzer {
+		case "lint":
+			lintMsgs = append(lintMsgs, d.Message)
+		case "testan":
+			testanMsgs = append(testanMsgs, d.Message)
+		}
+	}
+	if len(lintMsgs) != 1 || !strings.Contains(lintMsgs[0], "missing reason") {
+		t.Errorf("lint findings = %v, want one missing-reason finding", lintMsgs)
+	}
+	// A malformed directive must not suppress anything.
+	if len(testanMsgs) != 1 || testanMsgs[0] != "func E" {
+		t.Errorf("testan findings = %v, want [func E]", testanMsgs)
+	}
+}
+
+func TestDirectiveDoesNotReachFarLines(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+//lint:ignore testan a directive only reaches its own line and the next
+
+func A() {}
+`)
+	got := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{testAnalyzer})
+	if len(got) != 1 {
+		t.Fatalf("diagnostics = %v, want the finding two lines below the directive", messages(got))
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{Analyzer: "errcheck", File: "a.go", Line: 3, Col: 2, Message: "error from Close is discarded"},
+		{Analyzer: "floatcmp", File: "b.go", Line: 9, Col: 9, Message: "float == comparison"},
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+
+	// The output must be a valid JSON array that round-trips the exact
+	// field values under the documented names.
+	var back []analysis.Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back) != 2 || back[0] != diags[0] || back[1] != diags[1] {
+		t.Fatalf("round-trip = %+v, want %+v", back, diags)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, ok := raw[0][key]; !ok {
+			t.Errorf("schema is missing field %q: %v", key, raw[0])
+		}
+	}
+
+	// One finding per line keeps the stream greppable for
+	// scripts/lint-report.sh.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(diags)+2 {
+		t.Fatalf("got %d lines, want %d (open bracket, one per finding, close bracket):\n%s",
+			len(lines), len(diags)+2, buf.String())
+	}
+	for i := range diags {
+		line := strings.TrimSuffix(strings.TrimSpace(lines[i+1]), ",")
+		var one analysis.Diagnostic
+		if err := json.Unmarshal([]byte(line), &one); err != nil {
+			t.Errorf("line %d is not a self-contained JSON object: %v", i+1, err)
+		}
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var back []analysis.Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("empty output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty input produced findings: %v", back)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := analysis.Diagnostic{Analyzer: "determinism", File: "x.go", Line: 7, Col: 4, Message: "time.Now in deterministic zone"}
+	want := "x.go:7:4: time.Now in deterministic zone (determinism)"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestLoadSkipsTestdata proves the "..." walk never pulls fixture
+// packages into a production lint run.
+func TestLoadSkipsTestdata(t *testing.T) {
+	pkgs, err := analysis.NewLoader().Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load(./...) matched no packages")
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") || strings.Contains(p.ImportPath, "testdata") {
+			t.Errorf("Load included fixture package %s (%s)", p.ImportPath, p.Dir)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package analyzers holds the project-specific checks fedmigr-lint runs:
+// each Analyzer encodes one invariant the runtime's correctness depends
+// on but the compiler cannot enforce. See DESIGN.md §6 for the catalogue
+// and the rationale behind every check.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fedmigr/internal/analysis"
+)
+
+// All returns the full analyzer registry in the order fedmigr-lint runs
+// them.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		LockCheck,
+		ErrCheck,
+		TelemetryNames,
+		FloatCmp,
+	}
+}
+
+// callee resolves the object a call expression invokes (function, method
+// or builtin), or nil when type information is missing.
+func callee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.Pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// objPkgPath returns the import path of the package defining obj ("" for
+// builtins and universe objects).
+func objPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// inPackages reports whether the pass's package is one of paths.
+func inPackages(pass *analysis.Pass, paths []string) bool {
+	for _, p := range paths {
+		if pass.Pkg.ImportPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// implementsIface reports whether t (or *t) implements the named
+// interface from the dependency package at path — e.g. net.Conn. It
+// degrades to false when the package or name cannot be resolved, so
+// analyzers fail open rather than crash on partial type information.
+func implementsIface(pass *analysis.Pass, t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	dep := pass.Pkg.Dep(path)
+	if dep == nil {
+		return false
+	}
+	obj := dep.Scope().Lookup(name)
+	if obj == nil {
+		return false
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), iface)
+}
+
+// enclosingFuncs returns, for each file, a function that maps a node's
+// position to the name of the innermost enclosing function declaration
+// ("" at file scope). Analyzers use it for function-name allowlists.
+func enclosingFuncName(file *ast.File, pos ast.Node) string {
+	name := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		if fd.Pos() <= pos.Pos() && pos.Pos() < fd.End() {
+			name = fd.Name.Name
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fedmigr/internal/analysis"
+)
+
+// deterministicZones are the packages whose computations must be
+// bit-identical across worker counts and across runs with the same seed
+// (DESIGN.md §5). Wall-clock reads, the global math/rand stream, and
+// map-order-dependent reductions are all sources of hidden
+// nondeterminism there.
+var deterministicZones = []string{
+	"fedmigr/internal/core",
+	"fedmigr/internal/tensor",
+	"fedmigr/internal/nn",
+	"fedmigr/internal/drl",
+	"fedmigr/internal/sched",
+}
+
+// seededRandCtors are the math/rand entry points that take an explicit
+// source or are pure constructors — the only ones deterministic code may
+// touch. Everything else on the package (Intn, Float64, Perm, Shuffle,
+// Seed, ...) consumes the process-global generator.
+var seededRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand explicitly
+	"NewPCG":     true, // math/rand/v2 seeded source
+	"NewChaCha8": true,
+}
+
+// Determinism forbids wall-clock reads (time.Now/Since/Until), global
+// math/rand use, and map iterations that feed order-sensitive reductions
+// inside the deterministic zones. Timing that only feeds telemetry must
+// go through the injected clock telemetry.Now/telemetry.Since — the
+// sanctioned allowlist for wall-clock measurement — and stochasticity
+// through seeded tensor.RNG streams.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbids time.Now/time.Since, global math/rand, and map-order-dependent " +
+		"reductions in the deterministic zones (core, tensor, nn, drl, sched); " +
+		"telemetry timing must use the injected telemetry.Now/Since clock",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) {
+	if !inPackages(pass, deterministicZones) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeReduction(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterministicCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := callee(pass, call)
+	if obj == nil {
+		return
+	}
+	switch objPkgPath(obj) {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"wall clock time.%s in deterministic zone: route telemetry timing through telemetry.Now/telemetry.Since (the injected clock) or thread the value in from the caller",
+				obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on a *rand.Rand instance are fine — those generators are
+		// explicitly seeded (tensor.RNG wraps one). Only the package-level
+		// functions consume the shared global stream.
+		fn, isFunc := obj.(*types.Func)
+		if isFunc && fn.Type().(*types.Signature).Recv() == nil && !seededRandCtors[obj.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand %s in deterministic zone: use a seeded tensor.RNG stream (e.g. tensor.NewRNG) so results are reproducible and worker-count independent",
+				obj.Name())
+		}
+	}
+}
+
+// checkMapRangeReduction flags `for ... := range m` over a map whose body
+// accumulates into an outer scalar (x += ...) or grows a slice
+// (x = append(x, ...)): both make the result depend on Go's randomized
+// map iteration order. Key-addressed writes (out[k] = v) are allowed —
+// they are order-independent.
+func checkMapRangeReduction(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	feeds := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || feeds {
+			return !feeds
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Only plain-identifier targets: indexed writes (out[k] += v)
+			// are addressed by the key and stay order-independent.
+			if _, plain := as.Lhs[0].(*ast.Ident); plain {
+				feeds = true
+			}
+		case token.ASSIGN:
+			for _, rhs := range as.Rhs {
+				if c, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "append" {
+						feeds = true
+					}
+				}
+			}
+		}
+		return !feeds
+	})
+	if feeds {
+		pass.Reportf(rs.Pos(),
+			"map iteration feeds a reduction in deterministic zone: map order is randomized — iterate sorted keys or reduce into an index-addressed slice")
+	}
+}

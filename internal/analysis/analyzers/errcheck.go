@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fedmigr/internal/analysis"
+)
+
+// errZones are the packages where a dropped error corrupts protocol or
+// persistence state: fednet's quorum/reroute logic depends on observing
+// every write failure, and checkpoint's value is exactly that saved
+// state survives — a swallowed Close can lose buffered bytes silently.
+var errZones = []string{
+	"fedmigr/internal/fednet",
+	"fedmigr/internal/checkpoint",
+}
+
+// ErrCheck flags statements that discard an error returned from the
+// failure-critical call families: Close/Flush, reads and writes, and
+// frame/parameter encode/decode (Encode, Decode, Marshal, Unmarshal,
+// WriteMessage, ReadMessage, ...). Assigning the error to _ is an
+// explicit, reviewable discard and is allowed; for genuinely ignorable
+// cases use //lint:ignore errcheck <reason> so the exception is
+// documented in place.
+var ErrCheck = &analysis.Analyzer{
+	Name: "errcheck",
+	Doc: "flags discarded errors from Close, Flush, reads/writes and " +
+		"encode/decode calls in fednet and checkpoint",
+	Run: runErrCheck,
+}
+
+func runErrCheck(pass *analysis.Pass) {
+	if !inPackages(pass, errZones) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscarded(pass, s.X, "")
+			case *ast.DeferStmt:
+				checkDiscarded(pass, s.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscarded(pass, s.Call, "spawned ")
+			}
+			return true
+		})
+	}
+}
+
+// errProneNames matches the call families whose errors must be handled.
+func errProneName(name string) bool {
+	if name == "Close" || name == "Flush" {
+		return true
+	}
+	for _, frag := range []string{"Write", "Read", "Encode", "Decode", "Marshal", "Unmarshal", "Send", "Recv"} {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDiscarded(pass *analysis.Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	obj := callee(pass, call)
+	if obj == nil || !errProneName(obj.Name()) {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%serror from %s is discarded: handle it, return it, or assign to _ with a comment (//lint:ignore errcheck <reason> for documented exceptions)",
+		how, obj.Name())
+}
+
+// returnsError reports whether any result of sig is the builtin error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			o := named.Obj()
+			if o.Name() == "error" && o.Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}

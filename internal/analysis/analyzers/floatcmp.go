@@ -1,0 +1,98 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fedmigr/internal/analysis"
+)
+
+// floatZones are the numerical kernels where == on floats is almost
+// always a rounding-order bug waiting to fire: the parity contract
+// (DESIGN.md §5) makes parallel results bit-identical to serial ones,
+// but any comparison between *independently computed* values still
+// differs at the last ulp.
+var floatZones = []string{
+	"fedmigr/internal/tensor",
+	"fedmigr/internal/nn",
+	"fedmigr/internal/stats",
+}
+
+// FloatCmp flags == and != between floating-point operands in the
+// numerical packages. Two exceptions are built in: comparison against an
+// exact-zero constant (the idiomatic "disabled/sentinel/skip-work" test
+// — zero is exactly representable and never the result of rounding), and
+// code inside approved epsilon helpers, recognized by function names
+// containing approx/almost/epsilon/within/ulp, where an exact-equality
+// fast path is legitimate.
+var FloatCmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags ==/!= on float operands in tensor, nn and stats outside " +
+		"approved epsilon helpers; compare with an epsilon or math.Abs instead " +
+		"(zero-constant sentinel comparisons are allowed)",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *analysis.Pass) {
+	if !inPackages(pass, floatZones) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			if fn := enclosingFuncName(file, be); isEpsilonHelper(fn) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"float %s comparison: rounding makes exact equality unreliable — use an epsilon helper (math.Abs(a-b) <= eps) or compare bit patterns via math.Float64bits explicitly",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to
+// exactly zero.
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	return constant.Sign(v) == 0
+}
+
+func isEpsilonHelper(fn string) bool {
+	l := strings.ToLower(fn)
+	for _, frag := range []string{"approx", "almost", "epsilon", "within", "ulp"} {
+		if strings.Contains(l, frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fedmigr/internal/analysis"
+)
+
+// lockZones are the packages whose mutexes guard state shared with
+// concurrent network or scheduler goroutines: holding one of their locks
+// across a blocking call serializes the runtime (and under fault
+// injection can deadlock a whole session against the IO timeout).
+var lockZones = []string{
+	"fedmigr/internal/fednet",
+	"fedmigr/internal/edgenet",
+	"fedmigr/internal/sched",
+}
+
+// LockCheck flags blocking operations — network reads/writes/accepts/
+// dials, channel operations, pool.ForEach/ParallelFor regions, and
+// time.Sleep — executed while a sync.Mutex/RWMutex is held. The walk is
+// a linear, source-order approximation of the critical section: Lock()
+// opens it, Unlock() closes it, and defer Unlock() extends it to the end
+// of the function. Connection Close calls are deliberately not treated
+// as blocking: closing under the lock is how fednet makes Close
+// idempotent and unblock parked readers.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "flags blocking calls (net I/O, channel ops, sched regions, sleeps) " +
+		"made while holding a sync.Mutex/RWMutex in fednet, edgenet or sched",
+	Run: runLockCheck,
+}
+
+func runLockCheck(pass *analysis.Pass) {
+	if !inPackages(pass, lockZones) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.stmts(fd.Body.List)
+		}
+	}
+}
+
+// lockWalker tracks which mutexes are held while scanning a function's
+// statements in source order.
+type lockWalker struct {
+	pass *analysis.Pass
+	held []string // printed receiver expressions of held mutexes
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if name, ok := w.mutexOp(s.X); ok {
+			w.toggle(name, s.X)
+			return
+		}
+		w.scanBlocking(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// function; any other defer body runs outside the critical
+		// section, so it is not scanned.
+		if _, ok := w.mutexOp(s.Call); ok {
+			return
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently, not under this lock. Its
+		// spawn itself does not block.
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		w.scanBlocking(s.Cond)
+		w.stmt(s.Body)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Body)
+	case *ast.RangeStmt:
+		w.scanBlocking(s.X)
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(w.held) > 0 {
+			w.report(s, "select")
+		}
+	case *ast.SendStmt:
+		if len(w.held) > 0 {
+			w.report(s, "channel send")
+		}
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.DeclStmt:
+		w.scanBlocking(s)
+	}
+}
+
+// mutexOp recognizes calls to Lock/RLock/Unlock/RUnlock on sync.Mutex or
+// sync.RWMutex (including promoted embedded mutexes) and returns the
+// receiver's printed form.
+func (w *lockWalker) mutexOp(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	obj := w.pass.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || objPkgPath(fn) != "sync" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// toggle updates the held set for a Lock/Unlock call.
+func (w *lockWalker) toggle(name string, e ast.Expr) {
+	call := ast.Unparen(e).(*ast.CallExpr)
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		w.held = append(w.held, name)
+	case "Unlock", "RUnlock":
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i] == name {
+				w.held = append(w.held[:i], w.held[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// scanBlocking inspects an expression/statement subtree for blocking
+// operations, skipping function literals (their bodies execute outside
+// the current critical section unless called, which the linear walk does
+// not model).
+func (w *lockWalker) scanBlocking(n ast.Node) {
+	if len(w.held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				w.report(n, "channel receive")
+			}
+		case *ast.SendStmt:
+			w.report(n, "channel send")
+		case *ast.CallExpr:
+			if kind, ok := w.blockingCall(n); ok {
+				w.report(n, kind)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can block indefinitely (or for a
+// scheduling quantum) on external progress.
+func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	obj := callee(w.pass, call)
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	switch objPkgPath(obj) {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "DialTCP", "Listen":
+			return "net." + name, true
+		}
+	case "fedmigr/internal/sched":
+		if name == "ForEach" || name == "ParallelFor" {
+			return "sched parallel region " + name, true
+		}
+	}
+	// Method calls on net.Conn / net.Listener values.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	recv := w.pass.Pkg.Info.TypeOf(sel.X)
+	switch name {
+	case "Read", "Write":
+		if implementsIface(w.pass, recv, "net", "Conn") {
+			return "net.Conn " + name, true
+		}
+	case "Accept":
+		if implementsIface(w.pass, recv, "net", "Listener") {
+			return "net.Listener Accept", true
+		}
+	}
+	return "", false
+}
+
+func (w *lockWalker) report(n ast.Node, what string) {
+	w.pass.Reportf(n.Pos(),
+		"%s while holding mutex %s: blocking under the lock stalls every goroutine contending for it — release the lock first or move the blocking call out of the critical section",
+		what, w.held[len(w.held)-1])
+}

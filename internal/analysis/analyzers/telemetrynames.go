@@ -1,0 +1,84 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+
+	"fedmigr/internal/analysis"
+)
+
+const telemetryPkg = "fedmigr/internal/telemetry"
+
+// nameRE is the metric/span naming contract: lowercase snake_case,
+// digits allowed after the first segment ("core_rounds_total",
+// "sched_job_seconds").
+var nameRE = regexp.MustCompile(`^[a-z]+(_[a-z0-9]+)*$`)
+
+// telemetryNameMethods are the telemetry entry points whose first
+// argument is a metric or span name.
+var telemetryNameMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Begin":     true,
+	"Event":     true,
+}
+
+// TelemetryNames enforces the metric/span naming contract at every
+// registration and span site: names must be compile-time constant
+// snake_case strings. Dynamic names — fmt.Sprintf in particular — create
+// unbounded metric cardinality (one time series per distinct string) and
+// break dashboards that key on exact names; varying dimensions belong in
+// labels, which are bounded by construction.
+var TelemetryNames = &analysis.Analyzer{
+	Name: "telemetrynames",
+	Doc: "requires telemetry metric/span names (Counter, Gauge, Histogram, " +
+		"Begin, Event) to be constant ^[a-z]+(_[a-z0-9]+)*$ strings; dynamic " +
+		"dimensions go in labels, never the name",
+	Run: runTelemetryNames,
+}
+
+func runTelemetryNames(pass *analysis.Pass) {
+	// The telemetry package itself forwards caller-supplied names through
+	// its own layers (Telemetry → Registry), which would all read as
+	// non-constant; call sites are where the contract binds.
+	if pass.Pkg.ImportPath == telemetryPkg {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkTelemetryName(pass, call)
+			return true
+		})
+	}
+}
+
+func checkTelemetryName(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := callee(pass, call)
+	if obj == nil || objPkgPath(obj) != telemetryPkg || !telemetryNameMethods[obj.Name()] || len(call.Args) == 0 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if tv, ok := pass.Pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !nameRE.MatchString(name) {
+			pass.Reportf(arg.Pos(),
+				"telemetry name %q is not snake_case (want ^[a-z]+(_[a-z0-9]+)*$): rename the metric/span; dynamic dimensions go in labels", name)
+		}
+		return
+	}
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if io := callee(pass, inner); io != nil && objPkgPath(io) == "fmt" && io.Name() == "Sprintf" {
+			pass.Reportf(arg.Pos(),
+				"telemetry name built with fmt.Sprintf: dynamic names explode metric cardinality — use a constant name and put the varying part in a label")
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(),
+		"telemetry name for %s must be a compile-time constant snake_case string (got a runtime value): dynamic names explode metric cardinality", obj.Name())
+}

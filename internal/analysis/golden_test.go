@@ -1,0 +1,157 @@
+package analysis_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fedmigr/internal/analysis"
+	"fedmigr/internal/analysis/analyzers"
+)
+
+// fixtures maps each analyzer to its fixture package under testdata/src
+// and the import path the fixture is loaded under — the path of a real
+// package inside the analyzer's zone, so the path gate applies to the
+// fixture exactly as it does to production code.
+var fixtures = []struct {
+	dir        string
+	importPath string
+	analyzer   *analysis.Analyzer
+}{
+	{"determinism", "fedmigr/internal/core", analyzers.Determinism},
+	{"lockcheck", "fedmigr/internal/fednet", analyzers.LockCheck},
+	{"errcheck", "fedmigr/internal/fednet", analyzers.ErrCheck},
+	{"telemetrynames", "fedmigr/internal/core", analyzers.TelemetryNames},
+	{"floatcmp", "fedmigr/internal/tensor", analyzers.FloatCmp},
+}
+
+var wantRE = regexp.MustCompile("^want `(.+)`$")
+
+// expectations extracts the `// want `regex“ golden annotations from a
+// loaded package, keyed by file:line.
+func expectations(t *testing.T, pkg *analysis.Package) map[string]*regexp.Regexp {
+	t.Helper()
+	out := map[string]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if _, dup := out[key]; dup {
+					t.Fatalf("%s: duplicate want annotation", key)
+				}
+				out[key] = re
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenFixtures runs every analyzer against its fixture package and
+// requires an exact match between reported diagnostics and the `// want`
+// annotations: every annotation must be hit, and no unannotated
+// diagnostic may appear. Each fixture must produce at least one finding,
+// proving the analyzer fires at all.
+func TestGoldenFixtures(t *testing.T) {
+	loader := analysis.NewLoader()
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", fx.dir), fx.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := expectations(t, pkg)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no want annotations", fx.dir)
+			}
+			got := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{fx.analyzer})
+			if len(got) == 0 {
+				t.Fatalf("analyzer %s produced no findings on its fixture", fx.analyzer.Name)
+			}
+			matched := map[string]bool{}
+			for _, d := range got {
+				key := fmt.Sprintf("%s:%d", d.File, d.Line)
+				re, ok := want[key]
+				if !ok {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				if !re.MatchString(d.Message) {
+					t.Errorf("%s: message %q does not match want /%s/", key, d.Message, re)
+				}
+				matched[key] = true
+			}
+			for key, re := range want {
+				if !matched[key] {
+					t.Errorf("%s: expected diagnostic matching /%s/, got none", key, re)
+				}
+			}
+			for _, d := range got {
+				if d.Analyzer != fx.analyzer.Name {
+					t.Errorf("diagnostic from wrong analyzer %q: %s", d.Analyzer, d)
+				}
+			}
+		})
+	}
+}
+
+// TestFixtureSuppressions asserts each fixture's //lint:ignore section
+// really is load-bearing: stripping the directives must surface at least
+// one extra finding per fixture.
+func TestFixtureSuppressions(t *testing.T) {
+	loader := analysis.NewLoader()
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", fx.dir), fx.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasIgnore := false
+			for _, f := range pkg.Files {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						if strings.HasPrefix(c.Text, "//lint:ignore ") {
+							hasIgnore = true
+						}
+					}
+				}
+			}
+			if !hasIgnore {
+				t.Fatalf("fixture %s has no //lint:ignore directive to exercise suppression", fx.dir)
+			}
+			base := len(analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{fx.analyzer}))
+			stripIgnores(pkg)
+			unsuppressed := len(analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{fx.analyzer}))
+			if unsuppressed <= base {
+				t.Fatalf("stripping //lint:ignore changed findings %d -> %d; suppression not exercised", base, unsuppressed)
+			}
+		})
+	}
+}
+
+// stripIgnores blanks every //lint:ignore comment in the loaded AST and
+// rebuilds the package's directive set, simulating the same fixture with
+// no suppressions.
+func stripIgnores(pkg *analysis.Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//lint:ignore ") {
+					c.Text = "// (stripped)"
+				}
+			}
+		}
+	}
+	pkg.ReparseIgnores()
+}

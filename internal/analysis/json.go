@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits findings as a JSON array with one object per line:
+//
+//	[
+//	  {"analyzer":"errcheck","file":"x.go","line":3,"col":2,"message":"..."},
+//	  {"analyzer":"floatcmp","file":"y.go","line":9,"col":9,"message":"..."}
+//	]
+//
+// The array is valid JSON for structured consumers while the
+// one-finding-per-line layout keeps it greppable from shell scripts
+// (scripts/lint-report.sh relies on this).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, d := range diags {
+		b, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(diags)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "  %s%s\n", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked Go package ready for
+// analysis.
+type Package struct {
+	// Dir is the package's directory on disk.
+	Dir string
+	// ImportPath is the package's import path. Fixture packages may be
+	// loaded under an assumed path (see LoadDir) so path-gated analyzers
+	// fire on them.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects soft type-checking errors. Analysis proceeds on
+	// partial information; the CLI surfaces them in verbose mode only,
+	// since the build gate (go build ./...) owns compile errors.
+	TypeErrors []error
+
+	ignores []ignoreDirective
+	imports map[string]*types.Package
+}
+
+// ReparseIgnores rebuilds the package's //lint:ignore directive set from
+// the current AST comment text. Tests use it after mutating comments to
+// verify that suppression is driven by the directives and nothing else.
+func (p *Package) ReparseIgnores() {
+	p.ignores = nil
+	for _, f := range p.Files {
+		p.ignores = append(p.ignores, parseIgnores(p.Fset, f)...)
+	}
+}
+
+// Dep returns the dependency package with the given import path,
+// searching the package's import graph transitively, or nil when the
+// package does not depend on it. Analyzers use it to obtain canonical
+// types (e.g. net.Conn) for interface checks.
+func (p *Package) Dep(path string) *types.Package {
+	if p.imports == nil {
+		p.imports = map[string]*types.Package{}
+		var walk func(pkgs []*types.Package)
+		walk = func(pkgs []*types.Package) {
+			for _, im := range pkgs {
+				if _, seen := p.imports[im.Path()]; seen {
+					continue
+				}
+				p.imports[im.Path()] = im
+				walk(im.Imports())
+			}
+		}
+		if p.Types != nil {
+			walk(p.Types.Imports())
+		}
+	}
+	return p.imports[path]
+}
+
+// A Loader parses and type-checks packages. All packages loaded through
+// one Loader share a FileSet and a source-based importer, so dependency
+// type information is resolved once and object identities are comparable
+// across packages.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer, which
+// type-checks dependencies (including the standard library) from source —
+// no compiled export data or third-party tooling required.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory
+// as the package importPath. The import path is taken on faith: fixture
+// packages under testdata are deliberately loaded under the path of the
+// package whose invariants they exercise.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []*ast.File
+	pkg := &Package{Dir: dir, ImportPath: importPath, Fset: l.fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse: %w", err)
+		}
+		files = append(files, f)
+		pkg.ignores = append(pkg.ignores, parseIgnores(l.fset, f)...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg.Files = files
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even on soft errors.
+	tpkg, _ := conf.Check(importPath, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// ModuleRoot walks upward from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// Load expands Go package patterns relative to the current module and
+// loads every matched package. Supported patterns are "./...",
+// "./dir/...", and plain directories ("./dir", "dir"). Directories named
+// testdata or vendor, and directories starting with "." or "_", are
+// pruned from "..." walks (matching the go tool), so fixture packages
+// never reach the production lint run.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		base, rec := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = "."
+		}
+		if !rec {
+			if !hasGoFiles(base) {
+				return nil, fmt.Errorf("analysis: no Go files in %s", base)
+			}
+			dirs[filepath.Clean(base)] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirs[filepath.Clean(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var pkgs []*Package
+	for _, dir := range sorted {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, mod)
+		}
+		ip := mod
+		if rel != "." {
+			ip = mod + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the determinism analyzer. The golden test
+// loads it under the import path fedmigr/internal/core so the
+// deterministic-zone gate applies.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall clock time.Now`
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock time.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand Shuffle`
+}
+
+// seededOK builds an explicitly seeded generator: the constructors and
+// every method on the instance are allowed.
+func seededOK() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+func mapSumReduction(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `map iteration feeds a reduction`
+		sum += v
+	}
+	return sum
+}
+
+func mapAppendReduction(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration feeds a reduction`
+		out = append(out, k)
+	}
+	return out
+}
+
+// mapKeyedWrites is allowed: every write is addressed by the key, so the
+// result is independent of iteration order.
+func mapKeyedWrites(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// sliceReduction is allowed: slice iteration order is defined.
+func sliceReduction(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func suppressedReduction(m map[string]float64) float64 {
+	sum := 0.0
+	//lint:ignore determinism commutative integer-free demo of a documented exception
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

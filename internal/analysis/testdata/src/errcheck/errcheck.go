@@ -1,0 +1,54 @@
+// Package fixture exercises the errcheck analyzer. The golden test
+// loads it under the import path fedmigr/internal/fednet so the
+// error-zone gate applies.
+package fixture
+
+import (
+	"encoding/gob"
+	"net"
+	"os"
+)
+
+func closeUnchecked(f *os.File) {
+	f.Close() // want `error from Close is discarded`
+}
+
+func deferCloseUnchecked(f *os.File) {
+	defer f.Close() // want `deferred error from Close is discarded`
+}
+
+func writeUnchecked(c net.Conn, b []byte) {
+	c.Write(b) // want `error from Write is discarded`
+}
+
+func encodeUnchecked(enc *gob.Encoder, v any) {
+	enc.Encode(v) // want `error from Encode is discarded`
+}
+
+func goWriteUnchecked(c net.Conn, b []byte) {
+	go c.Write(b) // want `spawned error from Write is discarded`
+}
+
+// checked handles the error: allowed.
+func checked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicitDiscard assigns the error to _, a reviewable deliberate drop:
+// allowed.
+func explicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// nonErrorResults is allowed: the discarded results carry no error.
+func nonErrorResults(xs []int) {
+	copy(xs, xs)
+}
+
+func suppressed(f *os.File) {
+	//lint:ignore errcheck demo of a documented exception under test
+	f.Close()
+}

@@ -1,0 +1,54 @@
+// Package fixture exercises the floatcmp analyzer. The golden test
+// loads it under the import path fedmigr/internal/tensor so the
+// float-zone gate applies.
+package fixture
+
+func equal(a, b float64) bool {
+	return a == b // want `float == comparison`
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want `float != comparison`
+}
+
+func mixedConst(a float64) bool {
+	return a == 0.3 // want `float == comparison`
+}
+
+// zeroSentinel is allowed: zero is exactly representable and is the
+// idiomatic disabled/skip-work sentinel throughout tensor and nn.
+func zeroSentinel(a float64) bool {
+	return a == 0
+}
+
+func zeroFloatSentinel(a float64) bool {
+	return a != 0.0
+}
+
+// ordered comparisons are allowed: only exact equality is fragile.
+func ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// intEquality is allowed: the operands are integers.
+func intEquality(a, b int) bool {
+	return a == b
+}
+
+// approxEqual is an approved epsilon helper: the exact-hit fast path is
+// legitimate inside it.
+func approxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func suppressedBitCompare(a, b float64) bool {
+	//lint:ignore floatcmp demo of a documented exception under test
+	return a == b
+}

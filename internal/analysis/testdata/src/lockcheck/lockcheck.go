@@ -1,0 +1,98 @@
+// Package fixture exercises the lockcheck analyzer. The golden test
+// loads it under the import path fedmigr/internal/fednet so the
+// lock-zone gate applies.
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"fedmigr/internal/sched"
+)
+
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *peer) writeLocked(b []byte) {
+	p.mu.Lock()
+	_, _ = p.conn.Write(b) // want `net.Conn Write while holding mutex p.mu`
+	p.mu.Unlock()
+}
+
+func (p *peer) readUnderDeferredUnlock(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Read(b) // want `net.Conn Read while holding mutex p.mu`
+}
+
+func (p *peer) sleepLocked() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding mutex p.mu`
+}
+
+func (p *peer) sendLocked(ch chan int) {
+	p.mu.Lock()
+	ch <- 1 // want `channel send while holding mutex p.mu`
+	p.mu.Unlock()
+}
+
+func (p *peer) recvLocked(ch chan int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-ch // want `channel receive while holding mutex p.mu`
+}
+
+func (p *peer) dialLocked(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, err := net.Dial("tcp", addr) // want `net.Dial while holding mutex p.mu`
+	if err == nil {
+		p.conn = c
+	}
+}
+
+func regionLocked(mu *sync.Mutex, pool *sched.Pool) {
+	mu.Lock()
+	defer mu.Unlock()
+	pool.ForEach("fixture_region", 4, func(int) {}) // want `sched parallel region ForEach while holding mutex mu`
+}
+
+// unlockFirst is the correct shape: snapshot under the lock, block after
+// releasing it.
+func (p *peer) unlockFirst(b []byte) {
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	_, _ = c.Write(b)
+}
+
+// closeLocked is allowed: fednet closes connections under the lock on
+// purpose to make Close idempotent and unblock parked readers.
+func (p *peer) closeLocked() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		_ = p.conn.Close()
+	}
+}
+
+// spawnLocked is allowed: the goroutine body runs outside the critical
+// section.
+func (p *peer) spawnLocked(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		_, _ = p.conn.Write(b)
+	}()
+}
+
+func (p *peer) suppressedWrite(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:ignore lockcheck demo of a documented exception under test
+	_, _ = p.conn.Write(b)
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the telemetrynames analyzer. Any import
+// path other than fedmigr/internal/telemetry works; the golden test uses
+// fedmigr/internal/core.
+package fixture
+
+import (
+	"fmt"
+
+	"fedmigr/internal/telemetry"
+)
+
+const constName = "fixture_const_total"
+
+func register(tel *telemetry.Telemetry, shard int) {
+	tel.Counter("fixture_requests_total")
+	tel.Counter(constName)
+	tel.Gauge("camelCaseName")                        // want `not snake_case`
+	tel.Gauge("kebab-case-name")                      // want `not snake_case`
+	tel.Counter(fmt.Sprintf("shard_%d_total", shard)) // want `explode metric cardinality`
+	tel.Event(dynamicName())                          // want `must be a compile-time constant`
+	tel.Event("fault_event", "client", shard)
+	sp := tel.Begin("round_span", "shard", shard)
+	sp.End()
+}
+
+func histo(tel *telemetry.Telemetry) {
+	tel.Histogram("fixture_latency_seconds", telemetry.ExpBuckets(1e-6, 4, 12))
+	tel.Histogram("BadName", nil) // want `not snake_case`
+}
+
+func suppressedName(tel *telemetry.Telemetry) {
+	//lint:ignore telemetrynames demo of a documented exception under test
+	tel.Counter("LegacyDashboardName")
+}
+
+func dynamicName() string { return "dyn" }

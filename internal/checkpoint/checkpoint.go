@@ -91,8 +91,13 @@ func SaveMetricsCSV(path string, history []core.RoundMetrics) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	defer f.Close()
-	return WriteMetricsCSV(f, history)
+	// On the write path a Close failure can mean lost buffered data, so it
+	// must surface (the lint errcheck analyzer enforces this).
+	err = WriteMetricsCSV(f, history)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("checkpoint: close %s: %w", path, cerr)
+	}
+	return err
 }
 
 // Run-state checkpoint layout: a directory holding the global model and
@@ -128,6 +133,7 @@ func LoadRunState(dir string, model *nn.Sequential) ([]core.RoundMetrics, error)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	//lint:ignore errcheck read-only file: a Close error cannot lose data
 	defer f.Close()
 	return ReadMetricsCSV(f)
 }

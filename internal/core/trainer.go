@@ -202,7 +202,7 @@ func (t *Trainer) recordRound(loss, acc float64) {
 	snap := t.acct.Snapshot()
 	t.history = append(t.history, RoundMetrics{
 		Epoch: t.epoch, Round: t.round, TrainLoss: loss, TestAcc: acc,
-		Duration: time.Since(t.started), Snapshot: snap,
+		Duration: telemetry.Since(t.started), Snapshot: snap,
 	})
 	t.mTrainLoss.Set(loss)
 	t.mTestAcc.Set(acc)
@@ -698,7 +698,7 @@ func (t *Trainer) Run() *Result {
 	defer tensor.InstallPool(prevPool)
 	cfg := t.cfg
 	res := &Result{}
-	t.started = time.Now()
+	t.started = telemetry.Now()
 	t.lastLoss = math.Inf(1)
 	t.prevLoss = math.Inf(1)
 	lastAcc := 0.0
@@ -795,7 +795,7 @@ func (t *Trainer) Run() *Result {
 	res.FinalAcc = lastAcc
 	res.Epochs = t.epoch
 	res.Rounds = t.round
-	res.Duration = time.Since(t.started)
+	res.Duration = telemetry.Since(t.started)
 	res.ReachedTarget = stopSuccess
 	res.Snapshot = t.acct.Snapshot()
 	t.tel.EmitSnapshot()

@@ -11,7 +11,7 @@ func init() {
 	register(abl{})
 }
 
-// abl is the ablation study DESIGN.md §7 calls for — not a paper artifact,
+// abl is the ablation study DESIGN.md §8 calls for — not a paper artifact,
 // but the component-wise breakdown of the EMPG design choices:
 //
 //   - migration policy (none / random / greedy-EMD / DRL pre-trained)

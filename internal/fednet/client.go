@@ -232,17 +232,20 @@ func (c *Client) Run() error {
 	c.mu.Lock()
 	c.ln = ln
 	c.mu.Unlock()
-	defer ln.Close()
+	// Shutdown-path closes: the session's outcome is already decided by the
+	// protocol error (or clean MsgShutdown), so a close error here has
+	// nothing to add and is deliberately discarded.
+	defer func() { _ = ln.Close() }()
 
 	conn, err := c.dialRetry(c.cfg.ServerAddr, -1)
 	if err != nil {
-		ln.Close()
+		_ = ln.Close()
 		return fmt.Errorf("fednet: dial server: %w", err)
 	}
 	c.mu.Lock()
 	c.conn = conn
 	c.mu.Unlock()
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 
 	setDeadline(conn, c.cfg.IOTimeout)
 	if err := c.nm.write(conn, &Message{
@@ -465,7 +468,9 @@ func (c *Client) sendModel(o Order, params []byte) error {
 	if err != nil {
 		return err
 	}
-	defer peer.Close()
+	// The write's own error already decides delivery; the close result is
+	// deliberately dropped.
+	defer func() { _ = peer.Close() }()
 	setDeadline(peer, c.cfg.IOTimeout)
 	return c.nm.write(peer, &Message{Type: MsgModelTransfer, ModelID: o.ModelID, Params: params})
 }

@@ -23,7 +23,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"fedmigr/internal/telemetry"
 )
@@ -131,7 +130,7 @@ func (p *Pool) ForEach(region string, n int, fn func(i int)) {
 	if region != "" && p.tel != nil {
 		sp = p.tel.Begin("sched_region", "region", region, "jobs", n)
 	}
-	start := time.Now()
+	start := telemetry.Now()
 	var next atomic.Int64
 	var box panicBox
 	loop := func() {
@@ -163,7 +162,7 @@ func (p *Pool) ForEach(region string, n int, fn func(i int)) {
 	loop()
 	wg.Wait()
 	p.mRegions.Inc()
-	p.hRegion.Observe(time.Since(start).Seconds())
+	p.hRegion.Observe(telemetry.Since(start).Seconds())
 	if region != "" && p.tel != nil {
 		sp.End("helpers", spawned)
 	}
@@ -177,9 +176,9 @@ func (p *Pool) runJob(i int, fn func(int)) {
 		return
 	}
 	p.gInflight.Set(float64(p.inflight.Add(1)))
-	t0 := time.Now()
+	t0 := telemetry.Now()
 	defer func() {
-		p.hJob.Observe(time.Since(t0).Seconds())
+		p.hJob.Observe(telemetry.Since(t0).Seconds())
 		p.gInflight.Set(float64(p.inflight.Add(-1)))
 		p.mJobs.Inc()
 	}()
@@ -213,7 +212,7 @@ func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 		return
 	}
 	size := (n + chunks - 1) / chunks
-	start := time.Now()
+	start := telemetry.Now()
 	var wg sync.WaitGroup
 	var box panicBox
 	for c := 1; c*size < n; c++ {
@@ -238,6 +237,6 @@ func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 	fn(0, size) // the caller's own chunk
 	wg.Wait()
 	p.mRegions.Inc()
-	p.hRegion.Observe(time.Since(start).Seconds())
+	p.hRegion.Observe(telemetry.Since(start).Seconds())
 	box.rethrow()
 }

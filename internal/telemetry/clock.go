@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// nowFunc holds the process-wide wall-clock source as a func() time.Time.
+// It lives behind an atomic.Value so SetClock is safe against concurrent
+// instrumented paths (spans, scheduler timing) reading the clock.
+var nowFunc atomic.Value
+
+func init() { nowFunc.Store(time.Now) }
+
+// Now returns the current time from the telemetry clock — the one
+// sanctioned wall-clock read in this codebase. Deterministic zones
+// (internal/core, tensor, nn, drl, sched) must route every timing
+// measurement through it: the determinism analyzer in internal/analysis
+// forbids direct time.Now/time.Since there, so wall-clock reads stay
+// confined to observability and can be replaced wholesale in tests or
+// simulations via SetClock.
+func Now() time.Time { return nowFunc.Load().(func() time.Time)() }
+
+// Since returns the time elapsed since t according to the telemetry
+// clock. It is the sanctioned replacement for time.Since inside
+// deterministic zones.
+func Since(t time.Time) time.Duration { return Now().Sub(t) }
+
+// SetClock replaces the telemetry clock, e.g. with a fake advancing
+// manually in tests or a simulated clock in replay runs. A nil fn
+// restores the real time.Now.
+func SetClock(fn func() time.Time) {
+	if fn == nil {
+		fn = time.Now
+	}
+	nowFunc.Store(fn)
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClockInjection proves the telemetry clock is the single wall-clock
+// seam: SetClock redirects Now/Since (and therefore span timing), and
+// SetClock(nil) restores the real clock.
+func TestClockInjection(t *testing.T) {
+	defer SetClock(nil)
+	base := time.Unix(1700000000, 0)
+	fake := base
+	SetClock(func() time.Time { return fake })
+
+	if got := Now(); !got.Equal(base) {
+		t.Fatalf("Now() = %v, want %v", got, base)
+	}
+	fake = base.Add(3 * time.Second)
+	if got := Since(base); got != 3*time.Second {
+		t.Fatalf("Since(base) = %v, want 3s", got)
+	}
+
+	SetClock(nil)
+	if got := Since(Now()); got > time.Minute || got < -time.Minute {
+		t.Fatalf("real clock not restored: Since(Now()) = %v", got)
+	}
+}
+
+// TestClockDrivesSpans checks a span's duration comes from the injected
+// clock, not the process clock.
+func TestClockDrivesSpans(t *testing.T) {
+	defer SetClock(nil)
+	fake := time.Unix(1700000000, 0)
+	SetClock(func() time.Time { return fake })
+
+	tr := NewTracer(8)
+	sp := tr.Begin("clock_span")
+	fake = fake.Add(250 * time.Millisecond)
+	sp.End()
+
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if got := recs[0].DurationNS; got != (250 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("span duration = %dns, want 250ms", got)
+	}
+}

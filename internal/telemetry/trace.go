@@ -87,7 +87,7 @@ func (t *Tracer) Begin(name string, kv ...any) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{t: t, name: name, start: time.Now(), fields: kvMap(kv)}
+	return Span{t: t, name: name, start: Now(), fields: kvMap(kv)}
 }
 
 // End closes the span, merging optional extra alternating key, value
@@ -110,7 +110,7 @@ func (s Span) End(kv ...any) {
 		TimeUnixNano: s.start.UnixNano(),
 		Type:         "span",
 		Name:         s.name,
-		DurationNS:   time.Since(s.start).Nanoseconds(),
+		DurationNS:   Since(s.start).Nanoseconds(),
 		Fields:       fields,
 	})
 }
@@ -127,7 +127,7 @@ func (t *Tracer) Event(name string, kv ...any) {
 // emit stamps (if unstamped), rings and streams one record.
 func (t *Tracer) emit(r Record) {
 	if r.TimeUnixNano == 0 {
-		r.TimeUnixNano = time.Now().UnixNano()
+		r.TimeUnixNano = Now().UnixNano()
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -15,6 +15,14 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sched.json}"
 benchtime="${BENCHTIME:-2x}"
+
+# Numbers from a tree that violates the determinism/lock invariants are
+# not comparable run-to-run; refuse to record them.
+if ! go run ./cmd/fedmigr-lint ./...; then
+    echo "bench.sh: refusing to record benchmarks from a tree that fails lint" >&2
+    exit 1
+fi
+
 cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 tmp=$(mktemp)

@@ -15,7 +15,14 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./...
+# Project-specific invariants (determinism zones, lock discipline, error
+# handling, telemetry naming, float comparisons) — exits non-zero on any
+# finding; see cmd/fedmigr-lint and DESIGN.md §6.
+go run ./cmd/fedmigr-lint ./...
+# internal/experiments alone runs ~9 min under the race detector on a
+# single core, right at go test's default 10m per-package timeout; give
+# the suite explicit headroom so slow hosts don't flake.
+go test -race -timeout 30m ./...
 # Determinism parity under the race detector: parallel kernels and the
 # worker-invariance proofs run again explicitly so a -run filter in the
 # suite above can never silently skip them.

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# lint-report.sh — runs fedmigr-lint in JSON mode and prints a
+# per-analyzer summary table. Exits with fedmigr-lint's status (0 clean,
+# 1 findings, 2 load error), so it can stand in for the raw lint run in
+# CI while giving a more readable roll-up.
+#
+# Usage: scripts/lint-report.sh [patterns...]   (default ./...)
+set -u
+cd "$(dirname "$0")/.."
+
+[ $# -eq 0 ] && set -- ./...
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go run ./cmd/fedmigr-lint -json "$@" > "$tmp"
+status=$?
+if [ "$status" -eq 2 ]; then
+    echo "lint-report.sh: fedmigr-lint failed to load packages" >&2
+    exit 2
+fi
+
+total=$(grep -c '"analyzer"' "$tmp" || true)
+echo "lint report ($*)"
+echo "--------------------------------"
+if [ "$total" -eq 0 ]; then
+    printf '%-20s %s\n' "(no findings)" 0
+else
+    # One finding-object per line (see internal/analysis/json.go), so the
+    # analyzer field is extractable with sed alone.
+    grep '"analyzer"' "$tmp" \
+        | sed 's/.*"analyzer":"\([^"]*\)".*/\1/' \
+        | sort | uniq -c \
+        | awk '{ printf "%-20s %d\n", $2, $1 }'
+fi
+echo "--------------------------------"
+printf '%-20s %d\n' "total" "$total"
+exit "$status"
