@@ -42,10 +42,11 @@ import (
 
 func main() {
 	var (
-		role      = flag.String("role", "", "server|client")
-		listen    = flag.String("listen", "127.0.0.1:7070", "server: address to listen on; client: peer-transfer listen address (default ephemeral)")
-		server    = flag.String("server", "127.0.0.1:7070", "client: server address to join")
+		role      = flag.String("role", "", "server|client|aggregator")
+		listen    = flag.String("listen", "127.0.0.1:7070", "server: address to listen on; client/aggregator: upload/peer listen address (default ephemeral)")
+		server    = flag.String("server", "127.0.0.1:7070", "client/aggregator: server address to join")
 		clients   = flag.Int("clients", 4, "server: number of clients to wait for")
+		nAggs     = flag.Int("aggregators", 0, "server: edge aggregators to register; clients then upload to their LAN aggregator and the server folds O(A·log K) partial sums per round")
 		rounds    = flag.Int("rounds", 4, "server: global iterations G")
 		agg       = flag.Int("agg", 5, "server: events per global iteration")
 		tau       = flag.Int("tau", 1, "server: local epochs per event")
@@ -104,7 +105,7 @@ func main() {
 		srv, err := fednet.NewServer(fednet.ServerConfig{
 			K: *clients, Rounds: *rounds, AggEvery: *agg, Tau: *tau,
 			BatchSize: *batch, LR: *lr, IOTimeout: *timeout,
-			MinClients: *minAlive, Telemetry: tel,
+			MinClients: *minAlive, Aggregators: *nAggs, Telemetry: tel,
 		}, factory, mig)
 		if err != nil {
 			fatal(err)
@@ -114,7 +115,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("fedmigr server on %s waiting for %d clients\n", addr, *clients)
+		fmt.Printf("fedmigr server on %s waiting for %d clients and %d aggregators\n", addr, *clients, *nAggs)
 		if err := runUntilSignal(ctx, srv.Run, srv.Close); err != nil {
 			fatal(err)
 		}
@@ -156,8 +157,29 @@ func main() {
 		fmt.Printf("client %d done: %d local epochs, %d models migrated out\n",
 			c.ID(), c.Epochs, c.Migrations)
 
+	case "aggregator":
+		cfgListen := ""
+		if *listen != "127.0.0.1:7070" {
+			cfgListen = *listen
+		}
+		ag, err := fednet.NewAggregator(fednet.AggregatorConfig{
+			ServerAddr: *server, ListenAddr: cfgListen, IOTimeout: *timeout,
+			DialRetries: *retries, RetryBackoff: *backoff, Telemetry: tel,
+		}, factory)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fedmigr aggregator joining %s\n", *server)
+		if err := runUntilSignal(ctx, ag.Run, ag.Close); err != nil {
+			fatal(err)
+		}
+		tel.EmitSnapshot()
+		rnds, ups, nodes, peak := ag.Snapshot()
+		fmt.Printf("aggregator %d done: %d rounds, %d uploads folded into %d partial sums (peak %d live buffers)\n",
+			ag.ID(), rnds, ups, nodes, peak)
+
 	default:
-		fmt.Fprintln(os.Stderr, "usage: fedmigr-node -role server|client [flags]")
+		fmt.Fprintln(os.Stderr, "usage: fedmigr-node -role server|client|aggregator [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

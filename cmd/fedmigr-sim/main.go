@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -34,7 +35,7 @@ func main() {
 	var (
 		scheme    = flag.String("scheme", "fedmigr", "fedavg|fedprox|fedswap|randmigr|fedmigr")
 		dataset   = flag.String("dataset", "c10", "c10|c100|inet100")
-		partition = flag.String("partition", "shards", "iid|shards|dominance|lan")
+		partition = flag.String("partition", "shards", "iid|shards|dominance|lan|dirichlet|replicate")
 		model     = flag.String("model", "mlp", "c10cnn|c100cnn|reslite|mlp")
 		migrator  = flag.String("migrator", "greedy", "drl|random|greedy|optimal|cross|within|stay")
 		clients   = flag.Int("clients", 10, "number of clients K")
@@ -51,6 +52,12 @@ func main() {
 		bwBudget  = flag.Int64("bw-budget", 0, "bandwidth budget in bytes (0 = unlimited)")
 		timeBdg   = flag.Float64("time-budget", 0, "simulated time budget in seconds")
 		epsilon   = flag.Float64("epsilon", 0, "LDP privacy budget (0 = off)")
+		cohort    = flag.Int("cohort", 0, "per-round participant cohort (0 = every client trains every round; >0 samples that many and keeps only their models hydrated — O(cohort) memory)")
+		minCohort = flag.Int("min-cohort", 0, "cohort quorum under fault churn (default 1)")
+		fanout    = flag.Int("aggregators", 0, "simulated edge-aggregator fan-out: uploads stream client→gateway→cloud as partial sums (0/1 = flat; bit-identical model either way)")
+		buffered  = flag.Bool("buffered-agg", false, "use the legacy buffered aggregation (materializes every upload at once; baseline for -memstats)")
+		rshards   = flag.Int("replica-shards", 0, "physical data shards for -partition replicate (default 64)")
+		memstats  = flag.Bool("memstats", false, "print a parseable post-run memory line (heap after GC, OS footprint, hydrated-model high-water mark)")
 		workers   = flag.Int("workers", 0, "parallel workers for client training and tensor kernels (0 = NumCPU, 1 = serial; results are identical for any value, so -resume checkpoints are worker-independent)")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		quiet     = flag.Bool("quiet", false, "print only the final summary")
@@ -119,6 +126,11 @@ func main() {
 		BandwidthBudget: *bwBudget,
 		TimeBudget:      *timeBdg,
 		PrivacyEpsilon:  *epsilon,
+		CohortSize:      *cohort,
+		MinCohort:       *minCohort,
+		Aggregators:     *fanout,
+		BufferedAgg:     *buffered,
+		ReplicaShards:   *rshards,
 		Workers:         *workers,
 		Seed:            *seed,
 		Telemetry:       tel,
@@ -150,6 +162,10 @@ func main() {
 			return
 		}
 		o.Epochs -= epochOff
+		// Keep the cohort sampling stream aligned with the original run:
+		// round r after the resume draws the same cohort the uninterrupted
+		// run would have drawn at round roundOff+r.
+		o.RoundOffset = roundOff
 		fmt.Printf("resuming from %s at epoch %d (%d epochs remain)\n", *ckptDir, epochOff, o.Epochs)
 	}
 	sim, err := fedmigr.New(o)
@@ -222,6 +238,15 @@ func main() {
 	}
 	if *tracePath != "" {
 		fmt.Printf("telemetry trace written to %s\n", *tracePath)
+	}
+	if *memstats {
+		// One line, machine-parseable: scripts/bench.sh and check.sh grep
+		// this to assert the streaming path's memory stays flat in K.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Printf("memstats: heap_alloc_mb=%.1f sys_mb=%.1f max_hydrated=%d\n",
+			float64(ms.HeapAlloc)/1e6, float64(ms.Sys)/1e6, sim.Trainer.MaxHydrated())
 	}
 }
 

@@ -67,6 +67,10 @@ const (
 	PartitionDominance Partition = "dominance" // test-bed p%-dominance non-IID levels
 	PartitionLAN       Partition = "lan"       // LAN-correlated labels (Fig. 3 scenario)
 	PartitionDirichlet Partition = "dirichlet" // Dirichlet(α) label proportions (extension)
+	// PartitionReplicate deals clients shared references into a small pool
+	// of physical shards (ReplicaShards), so dataset memory is independent
+	// of Clients — the partition for 100k-client cohort simulations.
+	PartitionReplicate Partition = "replicate"
 )
 
 // Model names a zoo architecture.
@@ -122,6 +126,29 @@ type Options struct {
 	DominanceLevel float64
 	// DirichletAlpha applies to PartitionDirichlet (default 0.5).
 	DirichletAlpha float64
+	// ReplicaShards applies to PartitionReplicate: the number of distinct
+	// physical data shards shared across all clients (default 64, clamped
+	// to Clients).
+	ReplicaShards int
+
+	// CohortSize, when > 0, samples that many clients per aggregation round
+	// (seeded, deterministic) and keeps only the cohort's models hydrated —
+	// peak memory O(CohortSize), independent of Clients. 0 trains everyone
+	// every round.
+	CohortSize int
+	// MinCohort is the cohort quorum under fault churn (default 1).
+	MinCohort int
+	// Aggregators simulates a LAN edge-aggregator tier with this fan-out:
+	// uploads stream client → gateway → cloud as partial sums. Purely a
+	// traffic/time accounting change — the global model is bit-identical.
+	Aggregators int
+	// BufferedAgg restores the legacy buffered aggregation path (all
+	// uploads materialized at once) — the baseline the streaming
+	// accumulator is parity-tested and benchmarked against.
+	BufferedAgg bool
+	// RoundOffset aligns the cohort sampling stream after a checkpoint
+	// resume: set it to the number of aggregation rounds already consumed.
+	RoundOffset int
 
 	// Epochs, AggEvery, Tau, BatchSize, LR, Momentum, ProxMu mirror
 	// core.Config.
@@ -210,6 +237,9 @@ func (o Options) withDefaults() Options {
 	if o.Epochs <= 0 {
 		o.Epochs = 50
 	}
+	if o.ReplicaShards <= 0 {
+		o.ReplicaShards = 64
+	}
 	if o.AggEvery <= 0 {
 		if o.Scheme == SchemeFedAvg || o.Scheme == SchemeFedProx {
 			o.AggEvery = 1
@@ -281,27 +311,7 @@ func New(o Options) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{
-		Scheme:          o.Scheme,
-		Tau:             o.Tau,
-		AggEvery:        o.AggEvery,
-		BatchSize:       o.BatchSize,
-		LR:              o.LR,
-		Momentum:        o.Momentum,
-		ProxMu:          o.ProxMu,
-		MaxEpochs:       o.Epochs,
-		EvalEvery:       o.EvalEvery,
-		TargetAccuracy:  o.TargetAccuracy,
-		ComputeBudget:   o.ComputeBudget,
-		BandwidthBudget: o.BandwidthBudget,
-		TimeBudget:      o.TimeBudget,
-		Privacy:         mech,
-		Faults:          o.Faults,
-		Workers:         o.Workers,
-		ShuffleBatches:  o.ShuffleBatches,
-		Seed:            o.Seed,
-	}
-	tr, err := core.NewTrainer(cfg, clients, topo, cost, test, factory, mig)
+	tr, err := core.NewTrainer(coreConfig(o, mech), clients, topo, cost, test, factory, mig)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +351,22 @@ func NewWithMigrator(o Options, m core.Migrator) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{
+	tr, err := core.NewTrainer(coreConfig(o, mech), sim.Clients, sim.Topology, sim.Cost, sim.Test, factoryOf(sim), m)
+	if err != nil {
+		return nil, err
+	}
+	tr.SetTelemetry(o.Telemetry)
+	if dm, ok := m.(*drl.Migrator); ok {
+		dm.SetTelemetry(o.Telemetry)
+	}
+	sim.Trainer = tr
+	return sim, nil
+}
+
+// coreConfig maps Options onto the trainer configuration (shared by New
+// and NewWithMigrator so the two assembly paths cannot drift).
+func coreConfig(o Options, mech *privacy.Mechanism) core.Config {
+	return core.Config{
 		Scheme:          o.Scheme,
 		Tau:             o.Tau,
 		AggEvery:        o.AggEvery,
@@ -359,18 +384,13 @@ func NewWithMigrator(o Options, m core.Migrator) (*Simulation, error) {
 		Faults:          o.Faults,
 		Workers:         o.Workers,
 		ShuffleBatches:  o.ShuffleBatches,
+		CohortSize:      o.CohortSize,
+		MinCohort:       o.MinCohort,
+		Aggregators:     o.Aggregators,
+		BufferedAgg:     o.BufferedAgg,
+		RoundOffset:     o.RoundOffset,
 		Seed:            o.Seed,
 	}
-	tr, err := core.NewTrainer(cfg, sim.Clients, sim.Topology, sim.Cost, sim.Test, factoryOf(sim), m)
-	if err != nil {
-		return nil, err
-	}
-	tr.SetTelemetry(o.Telemetry)
-	if dm, ok := m.(*drl.Migrator); ok {
-		dm.SetTelemetry(o.Telemetry)
-	}
-	sim.Trainer = tr
-	return sim, nil
 }
 
 func buildDataset(o Options) (train, test *data.Dataset, spec nn.ModelSpec, err error) {
@@ -426,6 +446,8 @@ func partition(o Options, train *data.Dataset) ([]*data.Dataset, *edgenet.Topolo
 		return data.PartitionLANCorrelated(train, topo.LANOf, g), topo, nil
 	case PartitionDirichlet:
 		return data.PartitionDirichlet(train, o.Clients, o.DirichletAlpha, g), topo, nil
+	case PartitionReplicate:
+		return data.PartitionReplicated(train, o.Clients, o.ReplicaShards, g), topo, nil
 	default:
 		return nil, nil, fmt.Errorf("fedmigr: unknown partition %q", o.Partition)
 	}

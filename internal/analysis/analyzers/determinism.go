@@ -19,6 +19,7 @@ var deterministicZones = []string{
 	"fedmigr/internal/nn",
 	"fedmigr/internal/drl",
 	"fedmigr/internal/sched",
+	"fedmigr/internal/agg",
 }
 
 // seededRandCtors are the math/rand entry points that take an explicit
@@ -42,7 +43,7 @@ var seededRandCtors = map[string]bool{
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbids time.Now/time.Since, global math/rand, and map-order-dependent " +
-		"reductions in the deterministic zones (core, tensor, nn, drl, sched); " +
+		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg); " +
 		"telemetry timing must use the injected telemetry.Now/Since clock",
 	Run: runDeterminism,
 }

@@ -21,6 +21,7 @@ var fixtures = []struct {
 	analyzer   *analysis.Analyzer
 }{
 	{"determinism", "fedmigr/internal/core", analyzers.Determinism},
+	{"determinismagg", "fedmigr/internal/agg", analyzers.Determinism},
 	{"lockcheck", "fedmigr/internal/fednet", analyzers.LockCheck},
 	{"errcheck", "fedmigr/internal/fednet", analyzers.ErrCheck},
 	{"telemetrynames", "fedmigr/internal/core", analyzers.TelemetryNames},

@@ -1,0 +1,43 @@
+// Package fixture proves the determinism zone gate covers the streaming
+// accumulator package: the golden test loads it under the import path
+// fedmigr/internal/agg, where the reduction-tree folds must be
+// bit-identical regardless of upload arrival order or worker count.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func foldDeadline() time.Time {
+	return time.Now() // want `wall clock time.Now`
+}
+
+func randomSlot(k int) int {
+	return rand.Intn(k) // want `global math/rand Intn`
+}
+
+func weightOverResidents(res map[int]float64) float64 {
+	w := 0.0
+	for _, v := range res { // want `map iteration feeds a reduction`
+		w += v
+	}
+	return w
+}
+
+// keyedDrain is allowed: each resident node lands at its own slot, so the
+// write set is independent of iteration order.
+func keyedDrain(res map[int]float64, out []float64) {
+	for slot, v := range res {
+		out[slot] = v
+	}
+}
+
+func suppressedWeight(res map[int]float64) float64 {
+	w := 0.0
+	//lint:ignore determinism float add over weights that are summed in sorted-slot order upstream
+	for _, v := range res {
+		w += v
+	}
+	return w
+}

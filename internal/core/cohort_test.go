@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fedmigr/internal/faults"
+)
+
+// TestCohortSamplerQuorumTopUp pins the sampler's contract: the draw is a
+// pure function of (seed, round, active mask), sorted ascending, and when
+// fault churn leaves the raw draw short of the quorum, inactive picks are
+// swapped for active spares until min is met.
+func TestCohortSamplerQuorumTopUp(t *testing.T) {
+	s := &cohortSampler{k: 10, size: 4, min: 3, seed: 77}
+	allUp := make([]bool, 10)
+	for i := range allUp {
+		allUp[i] = true
+	}
+	a := s.sample(2, allUp)
+	b := s.sample(2, allUp)
+	if len(a) != 4 || !sort.IntsAreSorted(a) {
+		t.Fatalf("cohort %v: want 4 sorted members", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed, round, mask) drew different cohorts: %v vs %v", a, b)
+		}
+	}
+
+	// Only clients 1, 5 and 9 survive: every draw must still contain all
+	// three (min = 3), whatever the raw permutation picked.
+	churn := make([]bool, 10)
+	churn[1], churn[5], churn[9] = true, true, true
+	for round := 0; round < 8; round++ {
+		c := s.sample(round, churn)
+		act := 0
+		for _, m := range c {
+			if churn[m] {
+				act++
+			}
+		}
+		if act < 3 {
+			t.Fatalf("round %d: cohort %v has %d active members, quorum is 3", round, c, act)
+		}
+	}
+}
+
+// TestCohortQuorumUnderCrashes is the S3 core-side chaos case: a sampled
+// cohort keeps training through crashes, topping draws up to the quorum,
+// while the streaming hierarchical reduction folds whatever participants
+// remain. Two identical runs must also agree bit-for-bit — fault churn
+// must not leak nondeterminism into the cohort stream.
+func TestCohortQuorumUnderCrashes(t *testing.T) {
+	run := func() *Result {
+		clients, topo, test, factory := buildSetup(t, 8, 2, false, 31)
+		plan := faults.NewPlan(31).CrashAt(2, 2).CrashAt(6, 3).Outage(0, 1, 4)
+		cfg := Config{
+			Scheme: FedAvg, MaxEpochs: 8, AggEvery: 1, Seed: 31,
+			CohortSize: 3, MinCohort: 2, Aggregators: 2, Faults: plan,
+		}
+		tr, err := NewTrainer(cfg, clients, topo, nil, test, factory, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := tr.Run()
+		if got := tr.MaxHydrated(); got > 3 {
+			t.Fatalf("peak hydrated %d replicas, cohort is 3", got)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Epochs != 8 {
+		t.Fatalf("faulty cohort run stopped at epoch %d", a.Epochs)
+	}
+	if a.Rounds < 6 {
+		t.Fatalf("only %d rounds aggregated in 8 epochs", a.Rounds)
+	}
+	if math.IsNaN(a.FinalLoss) {
+		t.Fatal("cohort run under crashes produced NaN loss")
+	}
+	if a.FinalLoss != b.FinalLoss || a.FinalAcc != b.FinalAcc || a.Rounds != b.Rounds {
+		t.Fatalf("identical cohort+fault runs diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.History {
+		if a.History[i].TrainLoss != b.History[i].TrainLoss {
+			t.Fatalf("round %d losses diverge: %v vs %v", i, a.History[i].TrainLoss, b.History[i].TrainLoss)
+		}
+	}
+}

@@ -1,28 +1,31 @@
 package core
 
 import (
+	"fedmigr/internal/agg"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/sched"
 	"fedmigr/internal/tensor"
 )
 
-// weightedParamSum computes Σᵢ w(idx[i])·ParamVector(models[idx[i]]) with a
-// fixed binary-tree reduction. The tree's shape depends only on len(idx),
-// never on the worker count or on job completion order, so the float64
-// result is identical for serial and parallel runs — the determinism
-// contract aggregation and evaluation rely on (DESIGN.md §5).
+// weightedParamSum computes Σᵢ ws[i]·ParamVector(ms[i]) with a fixed
+// binary-tree reduction — the buffered baseline the streaming path is
+// parity-tested against. The tree's shape depends only on len(ms), never
+// on the worker count or on job completion order, so the float64 result
+// is identical for serial and parallel runs — the determinism contract
+// aggregation and evaluation rely on (DESIGN.md §5).
 //
 // Leaves (scaled parameter vectors) are materialized in parallel: each job
 // writes only its own terms[i]. Each tree level then adds pairs at fixed
 // positions — terms[i] += terms[i+span] — which are disjoint, so levels
 // parallelize too. The scratch leaves are recycled through the arena.
-func weightedParamSum(pool *sched.Pool, models []*nn.Sequential, idx []int, weight func(m int) float64) *tensor.Tensor {
-	terms := make([]*tensor.Tensor, len(idx))
-	pool.ForEach("param_sum_leaves", len(idx), func(i int) {
-		m := idx[i]
-		v := tensor.GetScratch(models[m].NumParams())
-		models[m].ParamVectorInto(v)
-		v.ScaleInPlace(weight(m))
+// Peak live memory is O(len(ms) · params): every leaf exists at once,
+// which is exactly what the streaming accumulator avoids.
+func weightedParamSum(pool *sched.Pool, ms []*nn.Sequential, ws []float64) *tensor.Tensor {
+	terms := make([]*tensor.Tensor, len(ms))
+	pool.ForEach("param_sum_leaves", len(ms), func(i int) {
+		v := tensor.GetScratch(ms[i].NumParams())
+		ms[i].ParamVectorInto(v)
+		v.ScaleInPlace(ws[i])
 		terms[i] = v
 	})
 	for span := 1; span < len(terms); span *= 2 {
@@ -41,4 +44,58 @@ func weightedParamSum(pool *sched.Pool, models []*nn.Sequential, idx []int, weig
 		return nil
 	}
 	return terms[0]
+}
+
+// streamingParamSum computes the same weighted sum through the streaming
+// accumulator: each model folds at its slot index the moment its leaf is
+// materialized, so live scratch is bounded by the reduction frontier
+// (O(log n) for the in-order fold here) instead of every leaf at once.
+// groupSlots, when non-nil, partitions the slot indices onto simulated
+// edge aggregators: each group streams into its own child accumulator and
+// the drained partial sums fold into the root — bit-identical to the flat
+// fold for ANY grouping, because grouping only changes which complete
+// tree nodes travel as a unit. Returns the sum and the peak number of
+// live leaf buffers across all accumulators.
+func streamingParamSum(ms []*nn.Sequential, ws []float64, groupSlots [][]int) (*tensor.Tensor, int) {
+	if len(ms) == 0 {
+		return nil, 0
+	}
+	dim := ms[0].NumParams()
+	root := agg.New(len(ms), dim)
+	fold := func(a *agg.Accumulator, slot int) {
+		leaf := a.Leaf()
+		ms[slot].ParamVectorInto(leaf)
+		if err := a.AddLeaf(slot, leaf, ws[slot]); err != nil {
+			panic(err) // slots are coordinator-assigned and unique
+		}
+	}
+	peak := 0
+	if groupSlots == nil {
+		for slot := range ms {
+			fold(root, slot)
+		}
+		peak = root.PeakLive()
+	} else {
+		for _, slots := range groupSlots {
+			if len(slots) == 0 {
+				continue
+			}
+			child := agg.New(len(ms), dim)
+			for _, slot := range slots {
+				fold(child, slot)
+			}
+			if p := child.PeakLive(); p > peak {
+				peak = p
+			}
+			for _, nd := range child.Drain() {
+				if err := root.FoldNode(nd); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if p := root.PeakLive(); p > peak {
+			peak = p
+		}
+	}
+	return root.Finish(1), peak
 }

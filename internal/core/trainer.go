@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"fedmigr/internal/agg"
 	"fedmigr/internal/data"
 	"fedmigr/internal/edgenet"
 	"fedmigr/internal/nn"
@@ -34,6 +35,16 @@ type Trainer struct {
 	participants []bool // per-round α-selection (Sec. II-A)
 	migrator     Migrator
 
+	// Cohort mode (cfg.CohortSize > 0): models[m]/opts[m] are nil unless
+	// client m is in the current cohort; hydrate materializes a replica
+	// from the free list when m is sampled and dehydrate recycles it when
+	// the cohort moves on, so live model memory is O(cohort), not O(K).
+	lazy        bool
+	sampler     *cohortSampler
+	freeModels  []*nn.Sequential
+	hydrated    int
+	maxHydrated int
+
 	// effDist[m] is the effective label distribution model m has trained
 	// on so far; effSeen[m] is its accumulated sample weight. Together
 	// they realize Eq. (12)'s "virtual dataset" and feed the D_t matrix.
@@ -61,6 +72,10 @@ type Trainer struct {
 	mRounds     *telemetry.Counter
 	mMigrations *telemetry.Counter
 	mFaults     *telemetry.Counter
+	mCohort     *telemetry.Gauge
+	mHydrated   *telemetry.Gauge
+	mAggParts   *telemetry.Counter
+	mAggPeak    *telemetry.Gauge
 }
 
 type pendingFeedback struct {
@@ -107,6 +122,10 @@ func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edg
 	t.global = factory()
 	t.modelSize = t.global.ByteSize()
 	k := len(clients)
+	t.lazy = cfg.CohortSize > 0
+	if t.lazy {
+		t.sampler = &cohortSampler{k: k, size: cfg.CohortSize, min: cfg.MinCohort, seed: cfg.Seed}
+	}
 	t.models = make([]*nn.Sequential, k)
 	t.opts = make([]*nn.SGD, k)
 	t.loc = make([]int, k)
@@ -116,12 +135,16 @@ func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edg
 	t.effSeen = make([]float64, k)
 	t.clientDist = make([]stats.Distribution, k)
 	for m := 0; m < k; m++ {
-		t.models[m] = factory()
-		t.models[m].CopyParamsFrom(t.global)
-		t.opts[m] = nn.NewSGDMomentum(cfg.LR, cfg.Momentum)
+		if !t.lazy {
+			// Cohort mode defers replica materialization to distribute();
+			// the historical mode keeps every replica resident.
+			t.models[m] = factory()
+			t.models[m].CopyParamsFrom(t.global)
+			t.opts[m] = nn.NewSGDMomentum(cfg.LR, cfg.Momentum)
+			t.participants[m] = true
+		}
 		t.loc[m] = m
 		t.active[m] = true
-		t.participants[m] = true
 		t.clientDist[m] = clients[m].Data.LabelDistribution()
 		t.effDist[m] = t.clientDist[m]
 		t.effSeen[m] = float64(clients[m].Data.Len())
@@ -155,6 +178,10 @@ func (t *Trainer) SetTelemetry(tel *telemetry.Telemetry) {
 	t.mRounds = tel.Counter("core_rounds_total")
 	t.mMigrations = tel.Counter("core_migrations_total")
 	t.mFaults = tel.Counter("core_fault_transitions_total")
+	t.mCohort = tel.Gauge("core_cohort_size")
+	t.mHydrated = tel.Gauge("core_hydrated_models")
+	t.mAggParts = tel.Counter("core_agg_partials_total")
+	t.mAggPeak = tel.Gauge("core_agg_peak_live")
 	t.pool.SetTelemetry(tel)
 }
 
@@ -251,6 +278,52 @@ func (t *Trainer) SetActive(client int, active bool) {
 	t.active[client] = active
 }
 
+// hydrate materializes client m's replica and optimizer for the round,
+// recycling a retired replica from the free list when one is available so
+// steady-state cohort rotation allocates no new model storage.
+func (t *Trainer) hydrate(m int) {
+	if t.models[m] != nil {
+		return
+	}
+	if n := len(t.freeModels); n > 0 {
+		t.models[m] = t.freeModels[n-1]
+		t.freeModels[n-1] = nil
+		t.freeModels = t.freeModels[:n-1]
+	} else {
+		t.models[m] = t.factory()
+	}
+	t.opts[m] = nn.NewSGDMomentum(t.cfg.LR, t.cfg.Momentum)
+	t.hydrated++
+	if t.hydrated > t.maxHydrated {
+		t.maxHydrated = t.hydrated
+	}
+	t.mHydrated.Set(float64(t.hydrated))
+}
+
+// dehydrate retires client m's replica to the free list (its parameters
+// are dead weight once the round aggregated; the next hydration overwrites
+// them with the fresh global copy).
+func (t *Trainer) dehydrate(m int) {
+	if t.models[m] == nil {
+		return
+	}
+	t.freeModels = append(t.freeModels, t.models[m])
+	t.models[m] = nil
+	t.opts[m] = nil
+	t.hydrated--
+	t.mHydrated.Set(float64(t.hydrated))
+}
+
+// MaxHydrated reports the peak number of simultaneously materialized
+// replicas — asserted equal to the cohort size by the 100k-client smoke
+// test.
+func (t *Trainer) MaxHydrated() int {
+	if !t.lazy {
+		return len(t.models)
+	}
+	return t.maxHydrated
+}
+
 // totalWeight returns the aggregation normalizer N (active home datasets).
 func (t *Trainer) totalWeight() float64 {
 	n := 0.0
@@ -266,21 +339,27 @@ func (t *Trainer) totalWeight() float64 {
 // would start reducing.
 func (t *Trainer) snapshotState(epochCompute float64, epochBytes int64) State {
 	k := len(t.clients)
-	d := make([][]float64, k)
-	for m := 0; m < k; m++ {
-		d[m] = make([]float64, k)
-		for j := 0; j < k; j++ {
-			d[m][j] = stats.EMD(t.effDist[m], t.clientDist[j])
-		}
-	}
-	costSec := make([][]float64, k)
-	for i := 0; i < k; i++ {
-		costSec[i] = make([]float64, k)
-		for j := 0; j < k; j++ {
-			if i == j {
-				continue
+	// The K×K distance and cost matrices exist only for migration
+	// policies; schemes without one (FedAvg/FedProx/FedSwap) skip them —
+	// at 100k clients they would be 80 GB each.
+	var d, costSec [][]float64
+	if t.migrator != nil {
+		d = make([][]float64, k)
+		for m := 0; m < k; m++ {
+			d[m] = make([]float64, k)
+			for j := 0; j < k; j++ {
+				d[m][j] = stats.EMD(t.effDist[m], t.clientDist[j])
 			}
-			costSec[i][j] = t.cost.TransferTime(i, j, t.topo.Kind(i, j), t.modelSize)
+		}
+		costSec = make([][]float64, k)
+		for i := 0; i < k; i++ {
+			costSec[i] = make([]float64, k)
+			for j := 0; j < k; j++ {
+				if i == j {
+					continue
+				}
+				costSec[i][j] = t.cost.TransferTime(i, j, t.topo.Kind(i, j), t.modelSize)
+			}
 		}
 	}
 	snap := t.acct.Snapshot()
@@ -321,7 +400,9 @@ func (t *Trainer) localEpoch() float64 {
 	if t.cfg.LRSchedule != nil {
 		lr := t.cfg.LRSchedule.LR(t.epoch)
 		for _, opt := range t.opts {
-			opt.LR = lr
+			if opt != nil {
+				opt.LR = lr
+			}
 		}
 	}
 	// Snapshot the work list sequentially: engagement (faults + α-selection)
@@ -330,6 +411,9 @@ func (t *Trainer) localEpoch() float64 {
 	type job struct{ m, host int }
 	jobs := make([]job, 0, k)
 	for m := 0; m < k; m++ {
+		if t.models[m] == nil {
+			continue // cohort mode: replica not hydrated this round
+		}
 		host := t.loc[m]
 		if !t.engaged(host) || t.clients[host].Data.Len() == 0 {
 			continue
@@ -451,10 +535,22 @@ func (t *Trainer) addProxGrad(model *nn.Sequential, globalVec *tensor.Tensor) {
 	}
 }
 
-// selectParticipants draws the α-fraction of clients taking part in the
-// next global iteration (all clients when ClientFraction is 0 or 1).
+// selectParticipants draws the clients taking part in the next global
+// iteration: the seeded cohort sample in cohort mode, otherwise the
+// α-fraction (all clients when ClientFraction is 0 or 1).
 func (t *Trainer) selectParticipants() {
 	k := len(t.clients)
+	if t.lazy {
+		cohort := t.sampler.sample(t.round+t.cfg.RoundOffset, t.active)
+		for i := range t.participants {
+			t.participants[i] = false
+		}
+		for _, c := range cohort {
+			t.participants[c] = true
+		}
+		t.mCohort.Set(float64(len(cohort)))
+		return
+	}
 	frac := t.cfg.ClientFraction
 	if frac <= 0 || frac >= 1 {
 		for i := range t.participants {
@@ -479,14 +575,34 @@ func (t *Trainer) selectParticipants() {
 // currently active.
 func (t *Trainer) engaged(c int) bool { return t.active[c] && t.participants[c] }
 
-// distribute sends the global model to every active client and resets all
-// replica locations home (Model Distribution).
+// distribute sends the global model to every selected client and resets
+// all replica locations home (Model Distribution). In cohort mode this is
+// also the hydration point: the round's cohort is materialized (recycling
+// retired replicas) and everyone else is dehydrated, so replicas — and
+// their effective-distribution bookkeeping — exist only while training.
 func (t *Trainer) distribute() {
 	t.selectParticipants()
+	if t.lazy {
+		// Dehydrate the outgoing cohort BEFORE hydrating the incoming one:
+		// retired replicas land on the free list first, so rotation reuses
+		// them instead of allocating, and the hydrated count never
+		// transiently exceeds the cohort size.
+		for m := range t.models {
+			if !t.participants[m] {
+				t.dehydrate(m)
+			}
+		}
+	}
 	maxT := 0.0
 	for m := range t.models {
-		t.models[m].CopyParamsFrom(t.global)
+		if t.lazy && t.participants[m] {
+			t.hydrate(m)
+		}
 		t.loc[m] = m
+		if t.models[m] == nil {
+			continue
+		}
+		t.models[m].CopyParamsFrom(t.global)
 		// A fresh global copy restarts the replica's virtual dataset
 		// (Eq. 12) from its home distribution.
 		t.effDist[m] = t.clients[m].Data.LabelDistribution()
@@ -502,13 +618,18 @@ func (t *Trainer) distribute() {
 	t.acct.AddWallTime(maxT)
 }
 
-// aggregate uploads every replica from its current host to the server and
-// forms the weighted average (Global Aggregation, Eq. 7).
+// aggregate uploads every replica from its current host toward the server
+// and forms the weighted average (Global Aggregation, Eq. 7). The sum
+// itself goes through the streaming accumulator (or the buffered tree
+// when cfg.BufferedAgg asks for the baseline) — bit-identical either way.
+// With an aggregator fan-out configured, uploads travel host→gateway over
+// the topology's C2C links and each gateway forwards its drained partial
+// sums over the C2S WAN; the grouping changes traffic and wall-time
+// accounting only, never the resulting bits.
 func (t *Trainer) aggregate() {
-	maxT := 0.0
 	// Normalize over the replicas whose home clients participate this
-	// round: with α < 1 only the selected clients' updates form the new
-	// global model (Sec. II-A).
+	// round: with α < 1 (or a sampled cohort) only the selected clients'
+	// updates form the new global model (Sec. II-A).
 	n := 0.0
 	for m := range t.models {
 		if t.participants[m] {
@@ -522,31 +643,99 @@ func (t *Trainer) aggregate() {
 	// Sanitization and transfer accounting stay sequential (the privacy
 	// mechanism consumes a shared RNG; the accountant is coordinator
 	// state); the weighted parameter sum itself is a deterministic tree
-	// reduction over the participant set.
+	// reduction over the participant slots.
 	idx := make([]int, 0, len(t.models))
 	for m, model := range t.models {
-		if !t.participants[m] {
+		if !t.participants[m] || model == nil {
 			continue
 		}
-		host := t.loc[m]
-		if t.active[host] {
-			if t.cfg.Privacy.Enabled() {
-				t.cfg.Privacy.Sanitize(model)
+		if t.active[t.loc[m]] && t.cfg.Privacy.Enabled() {
+			t.cfg.Privacy.Sanitize(model)
+		}
+		idx = append(idx, m)
+	}
+	ms := make([]*nn.Sequential, len(idx))
+	ws := make([]float64, len(idx))
+	for i, m := range idx {
+		ms[i] = t.models[m]
+		ws[i] = float64(t.clients[m].Data.Len()) / n
+	}
+	groupSlots := t.chargeUploads(idx)
+	var aggVec *tensor.Tensor
+	if t.cfg.BufferedAgg {
+		aggVec = weightedParamSum(t.pool, ms, ws)
+	} else {
+		var peak int
+		aggVec, peak = streamingParamSum(ms, ws, groupSlots)
+		t.mAggPeak.Set(float64(peak))
+	}
+	if aggVec != nil {
+		t.global.SetParamVector(aggVec)
+		tensor.PutScratch(aggVec)
+	}
+	t.round++
+}
+
+// chargeUploads accounts the round's upload traffic and wall time and
+// returns the slot grouping for the hierarchical reduction (nil for the
+// flat path). Flat: every active host pays one C2S upload, wall time is
+// the slowest. Hierarchical (cfg.Aggregators > 1): members pay a C2C hop
+// to their LAN gateway, then each gateway ships its canonical partial-sum
+// nodes — agg.NodeCount of its slot set, typically ~log(cohort) payloads
+// instead of one per member — over the C2S WAN; wall time is the slowest
+// member hop plus the slowest gateway hop.
+func (t *Trainer) chargeUploads(idx []int) [][]int {
+	g := t.cfg.Aggregators
+	if g <= 1 || len(idx) == 0 {
+		maxT := 0.0
+		for _, m := range idx {
+			host := t.loc[m]
+			if !t.active[host] {
+				continue
 			}
 			t.acct.RecordTransfer(host, host, edgenet.C2S, t.modelSize)
 			if tt := t.cost.TransferTime(host, host, edgenet.C2S, t.modelSize); tt > maxT {
 				maxT = tt
 			}
 		}
-		idx = append(idx, m)
+		t.acct.AddWallTime(maxT)
+		return nil
 	}
-	agg := weightedParamSum(t.pool, t.models, idx, func(m int) float64 {
-		return float64(t.clients[m].Data.Len()) / n
-	})
-	t.acct.AddWallTime(maxT)
-	t.global.SetParamVector(agg)
-	tensor.PutScratch(agg)
-	t.round++
+	if g > len(t.clients) {
+		g = len(t.clients)
+	}
+	groupSlots := make([][]int, g)
+	maxHop := 0.0
+	for i, m := range idx {
+		host := t.loc[m]
+		gid := t.topo.AggregatorGroup(host, g)
+		groupSlots[gid] = append(groupSlots[gid], i)
+		if !t.active[host] {
+			continue
+		}
+		gw := t.topo.GatewayClient(gid, g)
+		kind := t.topo.Kind(host, gw)
+		t.acct.RecordTransfer(host, gw, kind, t.modelSize)
+		if tt := t.cost.TransferTime(host, gw, kind, t.modelSize); tt > maxHop {
+			maxHop = tt
+		}
+	}
+	maxUp := 0.0
+	for gid, slots := range groupSlots {
+		if len(slots) == 0 {
+			continue
+		}
+		nodes := agg.NodeCount(len(idx), slots)
+		t.mAggParts.Add(int64(nodes))
+		gw := t.topo.GatewayClient(gid, g)
+		bytes := int64(nodes) * t.modelSize
+		t.acct.RecordTransfer(gw, gw, edgenet.C2S, bytes)
+		if tt := t.cost.TransferTime(gw, gw, edgenet.C2S, bytes); tt > maxUp {
+			maxUp = tt
+		}
+	}
+	t.acct.AddWallTime(maxHop + maxUp)
+	return groupSlots
 }
 
 // migrate executes one Model Migration event under the configured policy
@@ -632,20 +821,46 @@ func (t *Trainer) swapAtServer() {
 }
 
 // evaluate computes test accuracy of the sample-weighted average of all
-// replicas (instrumentation only — no traffic is charged).
+// replicas (instrumentation only — no traffic is charged). In cohort mode
+// the un-hydrated replicas hold exactly the global parameters (they were
+// never trained this round), so the K-replica average collapses to the
+// cohort's replicas plus one global term carrying the residual weight —
+// O(cohort) work instead of O(K).
 func (t *Trainer) evaluate() float64 {
 	if t.test == nil || t.test.Len() == 0 {
 		return 0
 	}
 	avg := t.factory()
 	n := t.totalWeight()
-	idx := make([]int, len(t.models))
-	for m := range idx {
-		idx[m] = m
+	var ms []*nn.Sequential
+	var ws []float64
+	if t.lazy {
+		resid := n
+		for m, model := range t.models {
+			if model == nil {
+				continue
+			}
+			w := float64(t.clients[m].Data.Len())
+			ms = append(ms, model)
+			ws = append(ws, w/n)
+			resid -= w
+		}
+		ms = append(ms, t.global)
+		ws = append(ws, resid/n)
+	} else {
+		ms = make([]*nn.Sequential, len(t.models))
+		ws = make([]float64, len(t.models))
+		for m, model := range t.models {
+			ms[m] = model
+			ws[m] = float64(t.clients[m].Data.Len()) / n
+		}
 	}
-	vec := weightedParamSum(t.pool, t.models, idx, func(m int) float64 {
-		return float64(t.clients[m].Data.Len()) / n
-	})
+	var vec *tensor.Tensor
+	if t.cfg.BufferedAgg {
+		vec = weightedParamSum(t.pool, ms, ws)
+	} else {
+		vec, _ = streamingParamSum(ms, ws, nil)
+	}
 	avg.SetParamVector(vec)
 	tensor.PutScratch(vec)
 	const evalBatch = 256
@@ -696,6 +911,7 @@ func (t *Trainer) Run() *Result {
 	// inline execution, so concurrency stays bounded by cfg.Workers).
 	prevPool := tensor.InstallPool(t.pool)
 	defer tensor.InstallPool(prevPool)
+	defer t.pool.Close()
 	cfg := t.cfg
 	res := &Result{}
 	t.started = telemetry.Now()

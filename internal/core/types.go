@@ -136,6 +136,36 @@ type Config struct {
 	// batch sweep.
 	ShuffleBatches bool
 
+	// CohortSize, when > 0, switches the trainer to cohort mode: each round
+	// a seeded, deterministic sample of CohortSize clients participates,
+	// and only those clients' model replicas and optimizers are hydrated
+	// (materialized) — live memory scales with the cohort, not with K,
+	// which is what makes 100k simulated clients fit one machine. 0 (the
+	// default) keeps every client resident, the historical behavior.
+	CohortSize int
+	// MinCohort is the cohort quorum: the sampler swaps fault-inactive
+	// draws for active spares until at least MinCohort active clients are
+	// in the cohort (or no spares remain), so cohort sampling composes
+	// with faults-plan churn instead of silently training nobody.
+	// Defaults to 1 in cohort mode; clamped to CohortSize.
+	MinCohort int
+	// Aggregators is the simulated edge-aggregator fan-out G of the
+	// hierarchical upload path: participants stream to G LAN-aligned
+	// gateway aggregators, each of which forwards its partial sums to the
+	// cloud root. Results are bit-identical for every G (see internal/agg);
+	// only the traffic/wall-time accounting changes. 0 or 1 keeps the flat
+	// client→server path.
+	Aggregators int
+	// BufferedAgg selects the legacy buffered reduction (materialize every
+	// participant leaf, then reduce) instead of the streaming accumulator.
+	// Both produce bit-identical results — the parity tests prove it — so
+	// this exists as the benchmark baseline and regression escape hatch.
+	BufferedAgg bool
+	// RoundOffset shifts the cohort sampler's round-derived RNG streams —
+	// set by checkpoint resume so a resumed run draws the same cohorts the
+	// uninterrupted run would have.
+	RoundOffset int
+
 	Seed int64
 }
 
@@ -158,6 +188,14 @@ func (c Config) withDefaults() Config {
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = c.Tau * c.AggEvery
 	}
+	if c.CohortSize > 0 {
+		if c.MinCohort <= 0 {
+			c.MinCohort = 1
+		}
+		if c.MinCohort > c.CohortSize {
+			c.MinCohort = c.CohortSize
+		}
+	}
 	return c
 }
 
@@ -177,6 +215,12 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
+	if c.CohortSize < 0 {
+		return fmt.Errorf("core: negative cohort size %d", c.CohortSize)
+	}
+	if c.Aggregators < 0 {
+		return fmt.Errorf("core: negative aggregator fan-out %d", c.Aggregators)
 	}
 	return nil
 }

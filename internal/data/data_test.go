@@ -301,3 +301,31 @@ func TestPartitionPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestPartitionReplicated(t *testing.T) {
+	d, _ := Synthetic(SyntheticConfig{Classes: 4, PerClass: 8, Seed: 5})
+	const k, shards = 1000, 4
+	parts := PartitionReplicated(d, k, shards, tensor.NewRNG(9))
+	if len(parts) != k {
+		t.Fatalf("got %d parts, want %d", len(parts), k)
+	}
+	total := 0
+	for s := 0; s < shards; s++ {
+		total += parts[s].Len()
+	}
+	if total != d.Len() {
+		t.Fatalf("shard pool covers %d samples, want %d", total, d.Len())
+	}
+	// Clients beyond the pool alias the pool's storage, not copies.
+	for i := shards; i < k; i++ {
+		a, b := parts[i], parts[i%shards]
+		if &a.X.Data()[0] != &b.X.Data()[0] || a.Len() != b.Len() {
+			t.Fatalf("client %d does not alias shard %d", i, i%shards)
+		}
+	}
+	// shards > k clamps; every client still gets a non-empty dataset.
+	small := PartitionReplicated(d, 2, 16, tensor.NewRNG(9))
+	if len(small) != 2 || small[0].Len() == 0 || small[1].Len() == 0 {
+		t.Fatalf("clamped replicate gave bad parts")
+	}
+}

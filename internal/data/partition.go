@@ -68,6 +68,48 @@ func PartitionShards(d *Dataset, k, shardsPer int, g *tensor.RNG) []*Dataset {
 	return parts
 }
 
+// PartitionReplicated deals k clients their datasets from a pool of only
+// `shards` distinct physical shards: shard s is the contiguous slice
+// s·⌈N/shards⌉..(s+1)·⌈N/shards⌉ of a label-shuffled copy of d, and client
+// c points at shard c mod shards. The returned datasets SHARE storage —
+// total memory is O(N), independent of k — which is what makes
+// 100 000-client cohort simulations fit in RAM: training only ever reads
+// from a Dataset, so aliasing is safe as long as callers do not Shuffle a
+// replicated part in place (the trainer never does).
+func PartitionReplicated(d *Dataset, k, shards int, g *tensor.RNG) []*Dataset {
+	if k <= 0 || shards <= 0 {
+		panic("data: PartitionReplicated needs k > 0 and shards > 0")
+	}
+	if shards > k {
+		shards = k
+	}
+	perm := g.Perm(d.Len())
+	shuffled := d.Subset(perm)
+	pool := make([]*Dataset, shards)
+	per := (shuffled.Len() + shards - 1) / shards
+	c, h, w := shuffled.Spec()
+	sz := c * h * w
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > shuffled.Len() {
+			hi = shuffled.Len()
+		}
+		if lo >= hi {
+			panic(fmt.Sprintf("data: %d shards for %d samples leaves shard %d empty",
+				shards, shuffled.Len(), s))
+		}
+		// Slice views into the shuffled storage: zero copies per shard.
+		x := tensor.FromSlice(shuffled.X.Data()[lo*sz:hi*sz], hi-lo, c, h, w)
+		pool[s] = &Dataset{X: x, Y: shuffled.Y[lo:hi], Classes: shuffled.Classes}
+	}
+	parts := make([]*Dataset, k)
+	for i := range parts {
+		parts[i] = pool[i%shards]
+	}
+	return parts
+}
+
 // PartitionDominance implements the test-bed non-IID levels of Sec. IV-D:
 // each client holds p (0 < p ≤ 1) of one "dominant" class (client i
 // dominates class i mod Classes) and the remaining samples of every class

@@ -129,6 +129,37 @@ func (t *Topology) Kind(i, j int) LinkKind {
 	return CrossLAN
 }
 
+// AggregatorGroup maps client c to its gateway group under a fan-out of g
+// edge aggregators: clients are partitioned into g contiguous blocks,
+// which aligns with EvenTopology's contiguous LAN layout so a group is a
+// LAN (or a run of adjacent LANs) fronted by one aggregator. g is clamped
+// to K; g <= 1 means no aggregator tier (every client is group 0).
+func (t *Topology) AggregatorGroup(c, g int) int {
+	k := t.K()
+	if g <= 1 {
+		return 0
+	}
+	if g > k {
+		g = k
+	}
+	return c * g / k
+}
+
+// GatewayClient returns the client hosting gateway group gid's edge
+// aggregator — the lowest-indexed member of the block. Member uploads are
+// charged host→gateway at the topology's link kind; the gateway's
+// upstream partial sums are charged over the C2S WAN.
+func (t *Topology) GatewayClient(gid, g int) int {
+	k := t.K()
+	if g <= 1 {
+		return 0
+	}
+	if g > k {
+		g = k
+	}
+	return (gid*k + g - 1) / g
+}
+
 // CostModel turns transfers and local computation into seconds and bytes.
 // Bandwidths are bytes/second; latencies are seconds. The zero value is
 // unusable — use DefaultCostModel or fill every field.

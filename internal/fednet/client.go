@@ -110,6 +110,9 @@ type Client struct {
 	// Fallbacks counts models kept locally after an undeliverable
 	// migration order (instrumentation).
 	Fallbacks int
+	// DroppedUploads counts aggregation uploads abandoned because the
+	// client's edge aggregator was unreachable (instrumentation).
+	DroppedUploads int
 }
 
 // NewClient builds a node around its local dataset and the shared model
@@ -284,7 +287,7 @@ func (c *Client) Run() error {
 				return err
 			}
 		case MsgAggregateOrder:
-			if err := c.onAggregate(); err != nil {
+			if err := c.onAggregate(m); err != nil {
 				return err
 			}
 		case MsgShutdown:
@@ -475,8 +478,14 @@ func (c *Client) sendModel(o Order, params []byte) error {
 	return c.nm.write(peer, &Message{Type: MsgModelTransfer, ModelID: o.ModelID, Params: params})
 }
 
-// onAggregate uploads every hosted model to the server.
-func (c *Client) onAggregate() error {
+// onAggregate uploads every hosted model — to the server directly, or,
+// when the order carries an AggAddr, to this client's LAN edge aggregator
+// (the hierarchical path: the server then only ever sees the aggregator's
+// partial sums). An unreachable aggregator drops this client's uploads for
+// the round instead of failing the session: the aggregator resolves the
+// missing count by deadline and the server renormalizes over what arrived,
+// the same degraded-membership semantics as a crashed client.
+func (c *Client) onAggregate(order *Message) error {
 	c.mu.Lock()
 	ids := make([]int, 0, len(c.hosted))
 	for id := range c.hosted {
@@ -485,6 +494,19 @@ func (c *Client) onAggregate() error {
 	c.mu.Unlock()
 	// Stable order keeps server reads deterministic.
 	sort.Ints(ids)
+
+	up, upstream := c.conn, "server"
+	if order.AggAddr != "" {
+		aggConn, err := c.dialRetry(order.AggAddr, -1)
+		if err != nil {
+			c.DroppedUploads += len(ids)
+			c.nm.incLostModel()
+			return nil // resolved upstream by the aggregator's deadline
+		}
+		// One upload session per round: the aggregator reads until EOF.
+		defer func() { _ = aggConn.Close() }()
+		up, upstream = aggConn, "aggregator"
+	}
 	for _, id := range ids {
 		c.mu.Lock()
 		model := c.hosted[id]
@@ -493,11 +515,18 @@ func (c *Client) onAggregate() error {
 		if err != nil {
 			return err
 		}
-		setDeadline(c.conn, c.cfg.IOTimeout)
-		if err := c.nm.write(c.conn, &Message{
+		setDeadline(up, c.cfg.IOTimeout)
+		if err := c.nm.write(up, &Message{
 			Type: MsgLocalUpdate, ModelID: id, Params: params,
 			Weight: float64(c.dataset.Len()),
 		}); err != nil {
+			if upstream == "aggregator" {
+				// A broken aggregator link costs this round's remaining
+				// uploads, not the session: the server conn is untouched.
+				c.DroppedUploads++
+				c.nm.incLostModel()
+				return nil
+			}
 			return err
 		}
 	}

@@ -53,7 +53,21 @@ const (
 	MsgLocalUpdate
 	// MsgShutdown ends the session.
 	MsgShutdown
+	// MsgAggHello registers an edge aggregator: its upload listen address.
+	MsgAggHello
+	// MsgAggWelcome assigns the aggregator its id and the session shape.
+	MsgAggWelcome
+	// MsgAggRound arms an aggregator for one round: how many uploads to
+	// expect and the per-slot aggregation weights.
+	MsgAggRound
+	// MsgPartialSum carries an aggregator's drained reduction-tree nodes
+	// upstream — O(fan-in) uploads compressed into O(log K) partial sums.
+	MsgPartialSum
 )
+
+// msgTypeMax is the highest defined frame type; telemetry tables are sized
+// by it so adding a frame type cannot silently fall outside the counters.
+const msgTypeMax = MsgPartialSum
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
@@ -62,12 +76,25 @@ func (t MsgType) String() string {
 		MsgCompletion: "Completion", MsgMigrationOrder: "MigrationOrder",
 		MsgModelTransfer: "ModelTransfer", MsgTransferDone: "TransferDone",
 		MsgAggregateOrder: "AggregateOrder", MsgLocalUpdate: "LocalUpdate",
-		MsgShutdown: "Shutdown",
+		MsgShutdown: "Shutdown", MsgAggHello: "AggHello",
+		MsgAggWelcome: "AggWelcome", MsgAggRound: "AggRound",
+		MsgPartialSum: "PartialSum",
 	}
 	if n, ok := names[t]; ok {
 		return n
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// AggNode is one complete reduction-tree node on the wire: the weighted
+// partial sum of the Count uploads covering slots [Start, Start+2^Level)
+// (clipped to K). Folding a node into the root accumulator reproduces the
+// exact bits a flat fold of its leaves would have produced, so partial
+// sums compose across any aggregator fan-out (internal/agg).
+type AggNode struct {
+	Start, Level, Count int
+	Weight              float64
+	Vec                 []float64
 }
 
 // Order is one outbound migration instruction.
@@ -118,6 +145,25 @@ type Message struct {
 	// EffDist carries the model's effective label mixture so the server's
 	// policy state stays current after C2C moves.
 	EffDist []float64
+
+	// Aggregator tier (AggHello/AggWelcome/AggRound/PartialSum, plus
+	// AggAddr on AggregateOrder).
+	//
+	// AggID identifies the aggregator (AggWelcome).
+	AggID int
+	// AggAddr, when non-empty on an AggregateOrder, redirects the client's
+	// uploads to its LAN aggregator instead of the server.
+	AggAddr string
+	// Expected is the number of uploads the aggregator should collect this
+	// round (AggRound).
+	Expected int
+	// Weights are the per-slot (model id) aggregation weights the
+	// aggregator folds uploads with (AggRound).
+	Weights []float64
+	// Nodes are the drained partial sums (PartialSum).
+	Nodes []AggNode
+	// UpdateIDs lists the model ids folded into Nodes (PartialSum).
+	UpdateIDs []int
 }
 
 const maxFrame = 64 << 20 // 64 MiB: far above any model in the zoo

@@ -8,11 +8,11 @@ import (
 	"sync"
 	"time"
 
+	"fedmigr/internal/agg"
 	"fedmigr/internal/core"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/stats"
 	"fedmigr/internal/telemetry"
-	"fedmigr/internal/tensor"
 )
 
 // ServerConfig parameterizes the parameter server.
@@ -37,6 +37,17 @@ type ServerConfig struct {
 	// MinClients remain alive (default 1 — the round completes with
 	// degraded membership as long as anyone survives).
 	MinClients int
+	// Aggregators is the number of edge aggregators the session registers.
+	// When > 0 the upload path is hierarchical: clients upload to their
+	// LAN aggregator (client c → aggregator c·A/K) and the server folds
+	// only O(A·log K) partial sums per round — bit-identical to direct
+	// uploads. 0 keeps the flat client→server path.
+	Aggregators int
+	// MaxConcurrentUploads bounds the goroutines (and in-flight decode
+	// buffers) the direct upload path uses, so server memory per round is
+	// O(MaxConcurrentUploads + log K) model vectors rather than O(K).
+	// Default 16.
+	MaxConcurrentUploads int
 	// Telemetry, when non-nil, records RPC latency histograms,
 	// per-message-type byte/count metrics, and fault-handling counters
 	// (dead clients, reroutes, partial rounds) under role=server.
@@ -67,6 +78,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.MinClients <= 0 {
 		c.MinClients = 1
+	}
+	if c.Aggregators < 0 {
+		c.Aggregators = 0
+	}
+	if c.MaxConcurrentUploads <= 0 {
+		c.MaxConcurrentUploads = 16
 	}
 	return c
 }
@@ -104,6 +121,12 @@ type Server struct {
 	conns   []net.Conn
 	addrs   []string
 	weights []float64
+
+	// Aggregator tier (cfg.Aggregators > 0): upstream connections, upload
+	// listen addresses, and liveness — guarded by mu like client state.
+	aggConns []net.Conn
+	aggAddrs []string
+	aggAlive []bool
 
 	// Liveness: mu guards alive/conns/closed/stats against concurrent
 	// collect goroutines and cross-goroutine Close.
@@ -179,6 +202,11 @@ func (s *Server) Close() {
 			_ = c.Close()
 		}
 	}
+	for _, c := range s.aggConns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
 }
 
 // Stats returns the session's fault-handling counters.
@@ -196,6 +224,21 @@ func (s *Server) Alive() int {
 	defer s.mu.Unlock()
 	n := 0
 	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// AggregatorsAlive returns the number of registered, live aggregators.
+// During registration it grows from 0 to cfg.Aggregators, so callers that
+// need deterministic aggregator ids can gate each connection on it.
+func (s *Server) AggregatorsAlive() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.aggAlive {
 		if a {
 			n++
 		}
@@ -255,13 +298,19 @@ func (s *Server) quorumErr(phase string) error {
 		phase, s.aliveCount(), s.cfg.K, s.cfg.MinClients)
 }
 
-// accept registers the K clients.
+// accept registers the K clients and, when the session is hierarchical,
+// the A edge aggregators. Roles are distinguished by their first frame
+// (Hello vs AggHello) so arrival order is free; ids are assigned in
+// per-role arrival order.
 func (s *Server) accept() error {
-	k := s.cfg.K
+	k, a := s.cfg.K, s.cfg.Aggregators
 	s.mu.Lock()
 	s.conns = make([]net.Conn, k)
 	s.alive = make([]bool, k)
+	s.aggConns = make([]net.Conn, a)
+	s.aggAlive = make([]bool, a)
 	s.mu.Unlock()
+	s.aggAddrs = make([]string, a)
 	s.addrs = make([]string, k)
 	s.weights = make([]float64, k)
 	s.clientDist = make([]stats.Distribution, k)
@@ -269,35 +318,98 @@ func (s *Server) accept() error {
 	s.effSeen = make([]float64, k)
 	s.loc = make([]int, k)
 	s.lost = make([]bool, k)
-	for id := 0; id < k; id++ {
+	clients, aggs := 0, 0
+	for clients < k || aggs < a {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return fmt.Errorf("fednet: accept: %w", err)
 		}
 		setDeadline(conn, s.cfg.IOTimeout)
-		hello, err := s.nm.expect(conn, MsgHello)
+		hello, err := s.nm.read(conn)
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		s.conns[id] = conn
-		s.alive[id] = true
-		s.mu.Unlock()
-		s.addrs[id] = hello.ListenAddr
-		s.weights[id] = float64(hello.NumSamples)
-		s.clientDist[id] = stats.Distribution(hello.Dist)
-		s.effDist[id] = stats.Distribution(append([]float64(nil), hello.Dist...))
-		s.effSeen[id] = float64(hello.NumSamples)
-		s.loc[id] = id
-		if err := s.nm.write(conn, &Message{
-			Type: MsgWelcome, ClientID: id, K: k,
-			Rounds: s.cfg.Rounds, AggEvery: s.cfg.AggEvery, Tau: s.cfg.Tau,
-			BatchSize: s.cfg.BatchSize, LR: s.cfg.LR,
-		}); err != nil {
-			return err
+		switch hello.Type {
+		case MsgHello:
+			if clients == k {
+				return fmt.Errorf("fednet: accept: more than %d clients", k)
+			}
+			id := clients
+			clients++
+			s.mu.Lock()
+			s.conns[id] = conn
+			s.alive[id] = true
+			s.mu.Unlock()
+			s.addrs[id] = hello.ListenAddr
+			s.weights[id] = float64(hello.NumSamples)
+			s.clientDist[id] = stats.Distribution(hello.Dist)
+			s.effDist[id] = stats.Distribution(append([]float64(nil), hello.Dist...))
+			s.effSeen[id] = float64(hello.NumSamples)
+			s.loc[id] = id
+			if err := s.nm.write(conn, &Message{
+				Type: MsgWelcome, ClientID: id, K: k,
+				Rounds: s.cfg.Rounds, AggEvery: s.cfg.AggEvery, Tau: s.cfg.Tau,
+				BatchSize: s.cfg.BatchSize, LR: s.cfg.LR,
+			}); err != nil {
+				return err
+			}
+		case MsgAggHello:
+			if aggs == a {
+				return fmt.Errorf("fednet: accept: more than %d aggregators", a)
+			}
+			aid := aggs
+			aggs++
+			s.mu.Lock()
+			s.aggConns[aid] = conn
+			s.aggAlive[aid] = true
+			s.mu.Unlock()
+			s.aggAddrs[aid] = hello.ListenAddr
+			if err := s.nm.write(conn, &Message{
+				Type: MsgAggWelcome, AggID: aid, K: k,
+			}); err != nil {
+				return err
+			}
+		default:
+			return typeMismatch(hello.Type, MsgHello)
 		}
 	}
 	return nil
+}
+
+// aggOf maps a client to its edge aggregator: contiguous blocks, the same
+// partition edgenet.Topology.AggregatorGroup uses in the simulator.
+func (s *Server) aggOf(client int) int {
+	return client * s.cfg.Aggregators / s.cfg.K
+}
+
+// aggIsAlive reports aggregator liveness under the lock.
+func (s *Server) aggIsAlive(aid int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aggAlive[aid]
+}
+
+// markAggDead declares an aggregator dead and closes its connection. The
+// session continues: its group's uploads are lost for the round (partial
+// aggregation), exactly like a dead client's. Idempotent per aggregator.
+func (s *Server) markAggDead(aid int, cause error) {
+	s.mu.Lock()
+	if !s.aggAlive[aid] {
+		s.mu.Unlock()
+		return
+	}
+	s.aggAlive[aid] = false
+	conn := s.aggConns[aid]
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	s.nm.incDeadClient()
+	var ne net.Error
+	if errors.As(cause, &ne) && ne.Timeout() {
+		s.nm.incTimeout()
+	}
+	s.cfg.Telemetry.Event("aggregator_dead", "aggregator", aid, "epoch", s.epoch, "cause", fmt.Sprint(cause))
 }
 
 // broadcast sends one message to every live client; a client that cannot
@@ -444,16 +556,21 @@ func (s *Server) run() error {
 			}
 		}
 
-		// Global Aggregation.
-		if err := s.broadcast(func(int) *Message {
-			return &Message{Type: MsgAggregateOrder, Round: round}
-		}); err != nil {
-			return err
-		}
+		// Global Aggregation (aggregate issues the upload orders itself so
+		// the aggregator tier is armed before any client dials it).
 		if err := s.aggregate(round); err != nil {
 			return err
 		}
 		s.History = append(s.History, s.lastLoss)
+	}
+	for aid, conn := range s.aggConns {
+		if !s.aggIsAlive(aid) {
+			continue
+		}
+		setDeadline(conn, s.cfg.IOTimeout)
+		if err := s.nm.write(conn, &Message{Type: MsgShutdown}); err != nil {
+			s.markAggDead(aid, err)
+		}
 	}
 	return s.broadcast(func(int) *Message { return &Message{Type: MsgShutdown} })
 }
@@ -571,11 +688,17 @@ func (s *Server) recordReroute(m, dst int, cause string) {
 	s.cfg.Telemetry.Event("migration_reroute", "model", m, "dest", dst, "epoch", s.epoch, "cause", cause)
 }
 
-// aggregate receives the surviving LocalUpdates and installs their
-// weighted average as the new global model, renormalizing over the models
-// that actually arrived: with u ⊆ {1..K} uploaded, the new global is
-// Σ_{m∈u} n_m·w_m / Σ_{m∈u} n_m, so degraded membership still yields a
-// valid convex combination.
+// aggregate issues the round's upload orders and installs the weighted
+// average of the surviving LocalUpdates as the new global model,
+// renormalizing over the models that actually arrived: with u ⊆ {1..K}
+// uploaded, the new global is Σ_{m∈u} n_m·w_m / Σ_{m∈u} n_m, so degraded
+// membership still yields a valid convex combination.
+//
+// Both paths stream into an agg.Accumulator with one slot per model id, so
+// peak server memory is O(MaxConcurrentUploads + log K) model vectors —
+// never O(K) buffered uploads — and the result is a pure function of the
+// set of uploads that arrived, independent of arrival order, goroutine
+// scheduling, or how clients are partitioned across edge aggregators.
 func (s *Server) aggregate(round int) error {
 	k := s.cfg.K
 	// Expected uploads per client under the reconciled location map.
@@ -591,76 +714,20 @@ func (s *Server) aggregate(round int) error {
 	if expected == 0 {
 		return fmt.Errorf("fednet: aggregate: no usable replicas remain")
 	}
-	// One goroutine per client reads its uploads; a client that dies
-	// mid-upload forfeits all its contributions, so a partial upload
-	// cannot skew the average.
-	type part struct {
-		vecs map[int]*tensor.Tensor
-		eff  map[int][]float64
-		dead bool
+	acc := agg.New(k, s.global.NumParams())
+	var recv int
+	var err error
+	if s.cfg.Aggregators > 0 {
+		recv, err = s.collectHierarchical(round, hosted, acc)
+	} else {
+		recv, err = s.collectDirect(round, hosted, acc)
 	}
-	parts := make([]part, k)
-	var wg sync.WaitGroup
-	for id := 0; id < k; id++ {
-		if len(hosted[id]) == 0 || !s.isAlive(id) {
-			continue
-		}
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			conn := s.conns[id]
-			p := part{vecs: map[int]*tensor.Tensor{}, eff: map[int][]float64{}}
-			for range hosted[id] {
-				setDeadline(conn, s.cfg.IOTimeout)
-				m, err := s.nm.expect(conn, MsgLocalUpdate)
-				if err != nil {
-					s.markDead(id, err)
-					p.dead = true
-					break
-				}
-				tmp := s.factory()
-				if err := tmp.UnmarshalParams(m.Params); err != nil {
-					s.markDead(id, err)
-					p.dead = true
-					break
-				}
-				p.vecs[m.ModelID] = tmp.ParamVector()
-				if len(m.EffDist) > 0 {
-					p.eff[m.ModelID] = m.EffDist
-				}
-			}
-			parts[id] = p
-		}(id)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	// Merge survivors in model-id order so the float accumulation is
-	// deterministic regardless of goroutine scheduling, and identical to
-	// the simulator's aggregation when nothing failed.
-	got := make([]*tensor.Tensor, k)
-	wsum := 0.0
-	recv := 0
-	for id := 0; id < k; id++ {
-		p := parts[id]
-		if p.vecs == nil || p.dead {
-			continue
-		}
-		for mid, v := range p.vecs {
-			got[mid] = v
-			wsum += s.weights[mid]
-			recv++
-		}
-		for mid, eff := range p.eff {
-			s.effDist[mid] = stats.Distribution(eff)
-		}
-	}
+	wsum := acc.Weight()
 	if recv == 0 || wsum <= 0 {
 		return fmt.Errorf("fednet: aggregate: all %d expected uploads failed", expected)
-	}
-	agg := tensor.New(s.global.NumParams())
-	for m := 0; m < k; m++ {
-		if got[m] != nil {
-			agg.AddScaledInPlace(got[m], s.weights[m]/wsum)
-		}
 	}
 	if recv < k {
 		s.mu.Lock()
@@ -670,8 +737,134 @@ func (s *Server) aggregate(round int) error {
 		s.cfg.Telemetry.Event("partial_aggregation",
 			"round", round, "received", recv, "expected_k", k, "weight", wsum)
 	}
-	s.global.SetParamVector(agg)
+	s.global.SetParamVector(acc.Finish(1 / wsum))
 	return nil
+}
+
+// collectDirect orders every client to upload to the server and streams
+// the uploads into acc. Reads run on at most MaxConcurrentUploads
+// goroutines; each fully received model folds at its model-id slot the
+// moment it is decoded. A client that dies mid-upload loses only the
+// uploads that had not fully arrived (the old buffered path forfeited all
+// of a dead client's uploads; streaming folds each one on arrival, which
+// strictly preserves more work under faults).
+func (s *Server) collectDirect(round int, hosted [][]int, acc *agg.Accumulator) (int, error) {
+	if err := s.broadcast(func(int) *Message {
+		return &Message{Type: MsgAggregateOrder, Round: round}
+	}); err != nil {
+		return 0, err
+	}
+	var (
+		foldMu sync.Mutex
+		recv   int
+		wg     sync.WaitGroup
+	)
+	sem := make(chan struct{}, s.cfg.MaxConcurrentUploads)
+	for id := 0; id < s.cfg.K; id++ {
+		if len(hosted[id]) == 0 || !s.isAlive(id) {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			conn := s.conns[id]
+			tmp := s.factory()
+			for range hosted[id] {
+				setDeadline(conn, s.cfg.IOTimeout)
+				m, err := s.nm.expect(conn, MsgLocalUpdate)
+				if err != nil {
+					s.markDead(id, err)
+					return
+				}
+				if err := tmp.UnmarshalParams(m.Params); err != nil {
+					s.markDead(id, err)
+					return
+				}
+				foldMu.Lock()
+				leaf := acc.Leaf()
+				tmp.ParamVectorInto(leaf)
+				if err := acc.AddLeaf(m.ModelID, leaf, s.weights[m.ModelID]); err != nil {
+					foldMu.Unlock()
+					s.markDead(id, err)
+					return
+				}
+				recv++
+				if len(m.EffDist) > 0 {
+					s.effDist[m.ModelID] = stats.Distribution(m.EffDist)
+				}
+				foldMu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	return recv, nil
+}
+
+// collectHierarchical arms each live aggregator with its group's expected
+// upload count and the slot weights, redirects clients to their group's
+// aggregator, and folds the returned partial-sum nodes into acc. A dead
+// aggregator costs its group's uploads for the round — the same partial-
+// aggregation semantics as a dead client, surfaced in FaultStats.
+func (s *Server) collectHierarchical(round int, hosted [][]int, acc *agg.Accumulator) (int, error) {
+	expAgg := make([]int, s.cfg.Aggregators)
+	for id, models := range hosted {
+		if len(models) > 0 && s.isAlive(id) {
+			expAgg[s.aggOf(id)] += len(models)
+		}
+	}
+	for aid, conn := range s.aggConns {
+		if !s.aggIsAlive(aid) {
+			continue
+		}
+		setDeadline(conn, s.cfg.IOTimeout)
+		if err := s.nm.write(conn, &Message{
+			Type: MsgAggRound, Round: round, Expected: expAgg[aid], Weights: s.weights,
+		}); err != nil {
+			s.markAggDead(aid, err)
+		}
+	}
+	if err := s.broadcast(func(id int) *Message {
+		return &Message{Type: MsgAggregateOrder, Round: round, AggAddr: s.aggAddrs[s.aggOf(id)]}
+	}); err != nil {
+		return 0, err
+	}
+	var (
+		foldMu sync.Mutex
+		recv   int
+		wg     sync.WaitGroup
+	)
+	for aid := range s.aggConns {
+		if !s.aggIsAlive(aid) {
+			continue
+		}
+		wg.Add(1)
+		go func(aid int) {
+			defer wg.Done()
+			conn := s.aggConns[aid]
+			// The aggregator itself waits up to its IOTimeout for straggler
+			// uploads before resolving the round, so the upstream read gets
+			// twice that budget.
+			setDeadline(conn, 2*s.cfg.IOTimeout)
+			m, err := s.nm.expect(conn, MsgPartialSum)
+			if err != nil {
+				s.markAggDead(aid, err)
+				return
+			}
+			foldMu.Lock()
+			defer foldMu.Unlock()
+			for _, nd := range m.Nodes {
+				if err := acc.Fold(nd.Start, nd.Level, nd.Count, nd.Weight, nd.Vec); err != nil {
+					s.markAggDead(aid, fmt.Errorf("fednet: bad partial sum: %w", err))
+					return
+				}
+				recv += nd.Count
+			}
+		}(aid)
+	}
+	wg.Wait()
+	return recv, nil
 }
 
 func containsInt(xs []int, x int) bool {

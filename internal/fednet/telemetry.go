@@ -13,7 +13,7 @@ import (
 // functions at zero cost.
 type netMetrics struct {
 	txBytes, rxBytes    *telemetry.Counter
-	txMsg, rxMsg        [MsgShutdown + 1]*telemetry.Counter
+	txMsg, rxMsg        [msgTypeMax + 1]*telemetry.Counter
 	writeSecs, readSecs *telemetry.Histogram
 
 	// Fault-tolerance counters: dial retries, deadline expiries, clients
@@ -42,7 +42,7 @@ func newNetMetrics(tel *telemetry.Telemetry, role string) *netMetrics {
 		writeSecs: tel.Histogram("fednet_rpc_seconds", rpcBuckets(), "role", role, "op", "write"),
 		readSecs:  tel.Histogram("fednet_rpc_seconds", rpcBuckets(), "role", role, "op", "read"),
 	}
-	for t := MsgHello; t <= MsgShutdown; t++ {
+	for t := MsgHello; t <= msgTypeMax; t++ {
 		nm.txMsg[t] = tel.Counter("fednet_msgs_total", "role", role, "dir", "tx", "type", t.String())
 		nm.rxMsg[t] = tel.Counter("fednet_msgs_total", "role", role, "dir", "rx", "type", t.String())
 	}
@@ -102,7 +102,7 @@ func (nm *netMetrics) write(w io.Writer, m *Message) error {
 	n, err := WriteMessageCount(w, m)
 	nm.writeSecs.Observe(time.Since(start).Seconds())
 	nm.txBytes.Add(int64(n))
-	if m.Type <= MsgShutdown {
+	if m.Type <= msgTypeMax {
 		nm.txMsg[m.Type].Inc()
 	}
 	return err
@@ -118,7 +118,7 @@ func (nm *netMetrics) read(r io.Reader) (*Message, error) {
 	m, n, err := ReadMessageCount(r)
 	nm.readSecs.Observe(time.Since(start).Seconds())
 	nm.rxBytes.Add(int64(n))
-	if m != nil && m.Type <= MsgShutdown {
+	if m != nil && m.Type <= msgTypeMax {
 		nm.rxMsg[m.Type].Inc()
 	}
 	return m, err

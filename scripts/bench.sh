@@ -3,6 +3,11 @@
 # parallel tensor kernels, the 50-client trainer round) across worker
 # counts and writes BENCH_sched.json: one record per (op, workers) with
 # ns/op, allocs/op and the speedup against that op's workers=1 baseline.
+# Then sweeps the aggregation path with fedmigr-sim and writes
+# BENCH_agg.json: one record per (clients, mode) — buffered baseline vs
+# streaming at fan-out 1/4/16 — with post-GC heap, Go runtime footprint
+# (the peak-RSS proxy), peak hydrated replicas, and ns/round. The point
+# of the sweep is the flat heap column as clients grows 1000 → 100000.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=5x scripts/bench.sh   # longer runs for stabler numbers
@@ -61,3 +66,51 @@ END {
 }' "$tmp" > "$out"
 
 echo "bench.sh: wrote $out ($(grep -c '"op"' "$out") records, $cores cores)"
+
+# ---- aggregation-path sweep -> BENCH_agg.json -------------------------
+# Every run samples a 64-client cohort per round (memory must not depend
+# on the total client count), partitions data over a replicated shard pool
+# and prints a `memstats:` line the awk below turns into JSON. ns/round
+# divides measured wall time by the run's aggregation rounds (epochs-1 at
+# -agg 1); it is a smoke-grade number, not a microbenchmark.
+agg_out="BENCH_agg.json"
+simbin=$(mktemp)
+trap 'rm -f "$tmp" "$simbin"' EXIT
+go build -o "$simbin" ./cmd/fedmigr-sim
+
+epochs=3
+rounds=$((epochs - 1))
+: > "$tmp"
+for k in 1000 10000 100000; do
+    for mode in buffered stream-fan1 stream-fan4 stream-fan16; do
+        case "$mode" in
+        buffered)     modeflags="-buffered-agg" ;;
+        stream-fan1)  modeflags="-aggregators 1" ;;
+        stream-fan4)  modeflags="-aggregators 4" ;;
+        stream-fan16) modeflags="-aggregators 16" ;;
+        esac
+        start=$(date +%s%N)
+        line=$("$simbin" -scheme fedavg -model mlp -partition replicate \
+            -clients "$k" -lans 16 -perclass 32 -epochs "$epochs" -agg 1 \
+            -batch 8 -cohort 64 -seed 3 -quiet -memstats $modeflags |
+            grep '^memstats:')
+        elapsed=$(($(date +%s%N) - start))
+        echo "$k $mode $((elapsed / rounds)) $line"
+    done
+done | tee -a "$tmp"
+
+awk '
+{
+    heap = sys = hyd = "null"
+    for (i = 4; i <= NF; i++) {
+        if (sub(/^heap_alloc_mb=/, "", $i)) heap = $i
+        if (sub(/^sys_mb=/, "", $i))        sys = $i
+        if (sub(/^max_hydrated=/, "", $i))  hyd = $i
+    }
+    n++
+    printf "%s  {\"clients\": %d, \"mode\": \"%s\", \"ns_per_round\": %d, \"heap_alloc_mb\": %s, \"sys_mb\": %s, \"max_hydrated\": %s}", \
+        (n > 1 ? ",\n" : "[\n"), $1, $2, $3, heap, sys, hyd
+}
+END { printf "\n]\n" }' "$tmp" > "$agg_out"
+
+echo "bench.sh: wrote $agg_out ($(grep -c '"mode"' "$agg_out") records)"

@@ -27,6 +27,11 @@ go test -race -timeout 30m ./...
 # worker-invariance proofs run again explicitly so a -run filter in the
 # suite above can never silently skip them.
 go test -race -run 'Parity|WorkerCountInvariance|ParallelRunMatchesSerial' ./internal/tensor ./internal/core .
+# 100k-client streaming smoke: one full cohort-sampled, hierarchically
+# aggregated run at 100 000 simulated clients. The test itself asserts the
+# post-GC heap ceiling (256 MB) and that peak hydrated replicas equal the
+# cohort size — the O(1)-memory contract of the streaming upload path.
+go test -run 'Test100kClientStreamingSmoke' .
 # Scheduler benchmark smoke: one iteration of the 50-client round at each
 # worker count (compile + run sanity, not a measurement).
 go test -run '^$' -bench 'BenchmarkTrainer' -benchtime=1x .
