@@ -63,6 +63,7 @@ func main() {
 		retries   = flag.Int("dial-retries", 3, "client: dial re-attempts with exponential backoff (-1 disables)")
 		backoff   = flag.Duration("retry-backoff", 50*time.Millisecond, "client: base backoff before the first dial retry")
 		minAlive  = flag.Int("min-clients", 1, "server: quorum — abort when fewer clients remain alive")
+		jobID     = flag.String("job", "", "fleet job this node belongs to; a server keyed to a job turns away peers carrying any other id (empty = legacy single-job session)")
 		workers   = flag.Int("workers", 0, "parallel workers for local tensor kernels (0 = NumCPU, 1 = serial; results are identical for any value)")
 		tracePath = flag.String("trace", "", "write JSONL telemetry records to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address")
@@ -106,6 +107,7 @@ func main() {
 			K: *clients, Rounds: *rounds, AggEvery: *agg, Tau: *tau,
 			BatchSize: *batch, LR: *lr, IOTimeout: *timeout,
 			MinClients: *minAlive, Aggregators: *nAggs, Telemetry: tel,
+			JobID: *jobID,
 		}, factory, mig)
 		if err != nil {
 			fatal(err)
@@ -145,6 +147,7 @@ func main() {
 		c, err := fednet.NewClient(fednet.ClientConfig{
 			ServerAddr: *server, ListenAddr: cfgListen, IOTimeout: *timeout,
 			DialRetries: *retries, RetryBackoff: *backoff, Telemetry: tel,
+			JobID: *jobID,
 		}, parts[*shard], factory)
 		if err != nil {
 			fatal(err)
@@ -165,6 +168,7 @@ func main() {
 		ag, err := fednet.NewAggregator(fednet.AggregatorConfig{
 			ServerAddr: *server, ListenAddr: cfgListen, IOTimeout: *timeout,
 			DialRetries: *retries, RetryBackoff: *backoff, Telemetry: tel,
+			JobID: *jobID,
 		}, factory)
 		if err != nil {
 			fatal(err)

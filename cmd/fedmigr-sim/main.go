@@ -69,9 +69,14 @@ func main() {
 		outageSpec   = flag.String("outage", "", "fault injection: transient outages as client:from-to[,...] (epochs, to exclusive)")
 		straggleSpec = flag.String("straggle", "", "fault injection: stragglers as clientxfactor[,...] e.g. 2x3.5")
 
-		ckptEvery = flag.Int("checkpoint-every", 0, "save a resumable checkpoint every N evaluations (0 = off)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "save a resumable checkpoint every N evaluations (0 = off; with -jobs, every N fleet rounds)")
 		ckptDir   = flag.String("checkpoint-dir", "checkpoints/sim", "directory for -checkpoint-every / -resume state")
 		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
+
+		jobsSpec     = flag.String("jobs", "", "multi-tenant mode: run N jobs over one shared client fleet; spec is name=a,demand=4,rounds=10[,weight=,scheme=,dataset=,model=,migrator=,agg=,tau=,lr=,batch=,perclass=,noise=,seed=];name=b,... — unset per-job keys inherit the top-level flags")
+		maxHydrated  = flag.Int("max-hydrated", 0, "with -jobs: admission budget on the summed demand of running jobs (0 = unlimited)")
+		hungarianMax = flag.Int("hungarian-max", 0, "with -jobs: max active clients solved with the exact Hungarian allocator; larger rounds use the greedy fallback (default 256)")
+		maxRounds    = flag.Int("max-rounds", 0, "with -jobs: hard bound on fleet rounds (0 = run until every job is done)")
 	)
 	flag.Parse()
 
@@ -135,6 +140,34 @@ func main() {
 		Seed:            *seed,
 		Telemetry:       tel,
 		Faults:          plan,
+	}
+
+	// Multi-tenant mode: -jobs switches fedmigr-sim from one trainer to a
+	// fleet of them sharing the client set; per-job keys in the spec
+	// override the top-level flags captured in o.
+	if *jobsSpec != "" {
+		base := o
+		base.Telemetry = nil // per-job trainers stay uninstrumented; the manager gets tel
+		base.Faults = nil    // the fleet manager owns the fault plan
+		jobs, err := parseJobs(*jobsSpec, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fo := fedmigr.FleetOptions{
+			Clients: *clients, LANs: *lans,
+			MaxHydrated: *maxHydrated, HungarianMax: *hungarianMax,
+			Workers: *workers, Faults: plan, Telemetry: tel, Seed: *seed,
+			Jobs: jobs,
+		}
+		if err := runFleet(fo, *maxRounds, *ckptEvery, *ckptDir, *resume, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *tracePath != "" {
+			fmt.Printf("telemetry trace written to %s\n", *tracePath)
+		}
+		return
 	}
 
 	// Resume: read the prior history first so the remaining epoch budget is

@@ -20,6 +20,7 @@ var deterministicZones = []string{
 	"fedmigr/internal/drl",
 	"fedmigr/internal/sched",
 	"fedmigr/internal/agg",
+	"fedmigr/internal/fleet",
 }
 
 // seededRandCtors are the math/rand entry points that take an explicit
@@ -43,7 +44,7 @@ var seededRandCtors = map[string]bool{
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbids time.Now/time.Since, global math/rand, and map-order-dependent " +
-		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg); " +
+		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg, fleet); " +
 		"telemetry timing must use the injected telemetry.Now/Since clock",
 	Run: runDeterminism,
 }

@@ -1,0 +1,44 @@
+// Package fixture proves the determinism zone gate covers the multi-tenant
+// fleet manager: the golden test loads it under the import path
+// fedmigr/internal/fleet, where a round's client→job allocation must be a
+// pure function of (seed, round, fault plan, job set) — no wall clock, no
+// global RNG, no map-order-dependent reductions.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func roundDeadline() time.Time {
+	return time.Now() // want `wall clock time.Now`
+}
+
+func randomTieBreak(clients int) int {
+	return rand.Intn(clients) // want `global math/rand Intn`
+}
+
+func totalDemand(demands map[string]int) int {
+	n := 0
+	for _, d := range demands { // want `map iteration feeds a reduction`
+		n += d
+	}
+	return n
+}
+
+// keyedScales is allowed: each straggler factor lands at its own client
+// slot, so the write set is independent of iteration order.
+func keyedScales(stragglers map[int]float64, scales []float64) {
+	for c, f := range stragglers {
+		scales[c] = f
+	}
+}
+
+func suppressedCredit(credits map[string]float64) float64 {
+	total := 0.0
+	//lint:ignore determinism float add over credits drained in sorted-job order upstream
+	for _, c := range credits {
+		total += c
+	}
+	return total
+}

@@ -126,6 +126,16 @@ func SaveRunState(dir string, model *nn.Sequential, history []core.RoundMetrics)
 // the recorded history is returned. A missing directory or model file is
 // reported via os.IsNotExist-compatible errors.
 func LoadRunState(dir string, model *nn.Sequential) ([]core.RoundMetrics, error) {
+	// A directory with a fleet manifest but no top-level model is a
+	// version-2 multi-job checkpoint — refuse it with directions instead of
+	// failing on the missing model file.
+	if _, err := os.Stat(filepath.Join(dir, RunStateModel)); os.IsNotExist(err) {
+		if _, merr := os.Stat(filepath.Join(dir, RunStateManifest)); merr == nil {
+			return nil, fmt.Errorf(
+				"checkpoint: %s holds a multi-job run state (version-2 manifest): resume it with the matching -jobs spec, not as a single-job run",
+				dir)
+		}
+	}
 	if err := LoadModel(filepath.Join(dir, RunStateModel), model); err != nil {
 		return nil, err
 	}

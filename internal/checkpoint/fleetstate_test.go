@@ -1,0 +1,162 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedmigr/internal/nn"
+	"fedmigr/internal/tensor"
+)
+
+func fleetFixture() map[string]FleetJobState {
+	return map[string]FleetJobState{
+		"mnist-mlp": {
+			Model:    nn.NewMLP(tensor.NewRNG(1), 4, 8, 3),
+			History:  sampleHistory(),
+			Progress: JobProgress{Epoch: 6, Round: 2},
+		},
+		"cifar-cnn": {
+			Model:    nn.NewMLP(tensor.NewRNG(2), 4, 6, 3),
+			History:  sampleHistory()[:1],
+			Progress: JobProgress{Epoch: 3, Round: 1},
+		},
+	}
+}
+
+func TestFleetStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jobs := fleetFixture()
+	if err := SaveFleetState(dir, 5, jobs); err != nil {
+		t.Fatal(err)
+	}
+	dst := map[string]*nn.Sequential{
+		"mnist-mlp": nn.NewMLP(tensor.NewRNG(9), 4, 8, 3),
+		"cifar-cnn": nn.NewMLP(tensor.NewRNG(9), 4, 6, 3),
+	}
+	m, hists, err := LoadFleetState(dir, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != FleetStateVersion || m.Round != 5 {
+		t.Fatalf("manifest %+v", m)
+	}
+	for name, js := range jobs {
+		if got := m.Jobs[name]; got != js.Progress {
+			t.Fatalf("job %s progress %+v, want %+v", name, got, js.Progress)
+		}
+		if len(hists[name]) != len(js.History) {
+			t.Fatalf("job %s history %d rows, want %d", name, len(hists[name]), len(js.History))
+		}
+		a, b := js.Model.ParamVector().Data(), dst[name].ParamVector().Data()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("job %s parameters diverge at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestFleetStateRejectsOldSingleJobCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	model := nn.NewMLP(tensor.NewRNG(1), 4, 8, 3)
+	if err := SaveRunState(dir, model, sampleHistory()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFleetManifest(dir)
+	if err == nil || !strings.Contains(err.Error(), "single-job") {
+		t.Fatalf("v1 checkpoint not rejected gracefully: %v", err)
+	}
+}
+
+func TestLoadRunStateRejectsFleetCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveFleetState(dir, 1, fleetFixture()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadRunState(dir, nn.NewMLP(tensor.NewRNG(1), 4, 8, 3))
+	if err == nil || !strings.Contains(err.Error(), "multi-job") {
+		t.Fatalf("v2 checkpoint not rejected gracefully: %v", err)
+	}
+}
+
+func TestFleetStateVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveFleetState(dir, 1, fleetFixture()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version field and expect a schema error.
+	m, err := LoadFleetManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Version = 99
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, RunStateManifest), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFleetManifest(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version manifest accepted: %v", err)
+	}
+}
+
+func TestFleetStateMismatchedJobs(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveFleetState(dir, 1, fleetFixture()); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadFleetState(dir, map[string]*nn.Sequential{
+		"mnist-mlp": nn.NewMLP(tensor.NewRNG(1), 4, 8, 3),
+	})
+	if err == nil {
+		t.Fatal("job-count mismatch accepted")
+	}
+	_, _, err = LoadFleetState(dir, map[string]*nn.Sequential{
+		"mnist-mlp": nn.NewMLP(tensor.NewRNG(1), 4, 8, 3),
+		"ghost":     nn.NewMLP(tensor.NewRNG(1), 4, 6, 3),
+	})
+	if err == nil {
+		t.Fatal("unknown job name accepted")
+	}
+}
+
+func TestFleetStateUnsafeJobName(t *testing.T) {
+	dir := t.TempDir()
+	err := SaveFleetState(dir, 0, map[string]FleetJobState{
+		"../escape": {Model: nn.NewMLP(tensor.NewRNG(1), 2, 2), Progress: JobProgress{}},
+	})
+	if err == nil {
+		t.Fatal("path-escaping job name accepted")
+	}
+}
+
+func TestFleetStateHistoryOnly(t *testing.T) {
+	// core.RoundMetrics round-trips through the per-job CSV exactly like
+	// the single-job path: spot-check a field survives.
+	dir := t.TempDir()
+	jobs := fleetFixture()
+	if err := SaveFleetState(dir, 2, jobs); err != nil {
+		t.Fatal(err)
+	}
+	dst := map[string]*nn.Sequential{
+		"mnist-mlp": nn.NewMLP(tensor.NewRNG(9), 4, 8, 3),
+		"cifar-cnn": nn.NewMLP(tensor.NewRNG(9), 4, 6, 3),
+	}
+	_, hists, err := LoadFleetState(dir, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hists["mnist-mlp"]
+	want := jobs["mnist-mlp"].History
+	for i := range want {
+		if got[i].Epoch != want[i].Epoch || got[i].Round != want[i].Round ||
+			got[i].TrainLoss != want[i].TrainLoss || got[i].TestAcc != want[i].TestAcc {
+			t.Fatalf("history row %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fedmigr/internal/telemetry"
+)
+
+// This file is the externally driven round API: instead of Run owning the
+// whole training loop, an orchestrator (the fleet manager) picks each
+// round's participants and steps the trainer one global iteration at a
+// time. The round body is the same four-process schedule Run executes —
+// distribution, τ·AggEvery local epochs with migration events between,
+// aggregation, evaluation — so a sequence of RunRound calls is governed by
+// the same determinism argument (DESIGN.md §5): participant choice is the
+// caller's, everything downstream is a pure function of (config, seed,
+// epoch, participants).
+
+// SetParticipants forces the next rounds' participant set, overriding both
+// cohort sampling and the α-fraction draw. In lazy-hydration mode only the
+// named clients' replicas are materialized. A nil slice restores the
+// trainer's own selection; an empty non-nil slice selects nobody.
+func (t *Trainer) SetParticipants(clients []int) {
+	if clients == nil {
+		t.forced = nil
+		return
+	}
+	t.forced = append([]int(nil), clients...)
+}
+
+// Round returns the number of completed global iterations.
+func (t *Trainer) Round() int { return t.round }
+
+// History returns the recorded evaluation history (shared slice; callers
+// must treat it as read-only).
+func (t *Trainer) History() []RoundMetrics { return t.history }
+
+// Restore fast-forwards the trainer's epoch/round counters to a checkpoint
+// without replaying training. The caller is responsible for also restoring
+// the global model parameters; replica state is rebuilt by the next
+// round's distribution. Restore must run before any training step.
+func (t *Trainer) Restore(epoch, round int) error {
+	if t.epoch != 0 || t.round != 0 {
+		return fmt.Errorf("core: Restore after training started (epoch %d, round %d)", t.epoch, t.round)
+	}
+	if epoch < 0 || round < 0 {
+		return fmt.Errorf("core: Restore to negative progress (epoch %d, round %d)", epoch, round)
+	}
+	t.epoch = epoch
+	t.round = round
+	return nil
+}
+
+// RunRound executes one complete global iteration — Model Distribution to
+// the given participants, AggEvery training phases of τ local epochs with
+// a migration/swap event between consecutive phases, Global Aggregation,
+// and one evaluation — and returns its metrics record. participants may be
+// nil to let the trainer select (cohort sample or α-fraction).
+//
+// Unlike Run, RunRound installs no tensor pool: a caller stepping several
+// trainers over one shared pool installs it once around the whole loop
+// (tensor.InstallPool), and a standalone caller inherits the ambient pool.
+// MaxEpochs, EvalEvery and TargetAccuracy are ignored — the caller owns
+// the stopping rule; budgets are still accounted and readable through
+// Accountant.
+func (t *Trainer) RunRound(participants []int) RoundMetrics {
+	if participants != nil {
+		t.SetParticipants(participants)
+		defer t.SetParticipants(nil)
+	}
+	if t.started.IsZero() {
+		t.started = telemetry.Now()
+		t.lastLoss = math.Inf(1)
+		t.prevLoss = math.Inf(1)
+	}
+
+	t.applyFaults()
+	sp := t.tel.Begin("distribution")
+	t.distribute()
+	sp.End("epoch", t.epoch)
+
+	loss := t.lastLoss
+	for ev := 0; ev < t.cfg.AggEvery; ev++ {
+		preSnap := t.acct.Snapshot()
+		for i := 0; i < t.cfg.Tau; i++ {
+			t.applyFaults()
+			loss = t.localEpoch()
+			t.prevLoss, t.lastLoss = t.lastLoss, loss
+			if math.IsInf(t.prevLoss, 1) {
+				t.prevLoss = loss
+			}
+			t.epoch++
+		}
+		post := t.acct.Snapshot()
+		st := t.snapshotState(post.ComputeSecs-preSnap.ComputeSecs, post.TotalBytes-preSnap.TotalBytes)
+		if t.pending != nil && t.migrator != nil {
+			t.migrator.Feedback(&t.pending.prev, t.pending.action, &st, false, false)
+			t.pending = nil
+		}
+		if ev+1 < t.cfg.AggEvery {
+			sp := t.tel.Begin("migration_event")
+			action := t.migrate(&st)
+			sp.End("epoch", t.epoch)
+			if action != nil && t.migrator != nil {
+				t.pending = &pendingFeedback{prev: st, action: action}
+			}
+		}
+	}
+
+	sp = t.tel.Begin("aggregation")
+	t.aggregate()
+	sp.End("round", t.round, "epoch", t.epoch)
+	t.mRounds.Inc()
+
+	acc := t.evaluate()
+	t.recordRound(loss, acc)
+	return t.history[len(t.history)-1]
+}
+
+// Close releases the trainer's scheduler pool when the trainer owns it
+// (Config.Pool nil). Run closes it implicitly; orchestrators driving
+// RunRound call Close when the job retires. Safe to call repeatedly, and a
+// no-op for shared pools.
+func (t *Trainer) Close() {
+	if t.ownPool {
+		t.pool.Close()
+	}
+}

@@ -33,6 +33,7 @@ type Trainer struct {
 	loc          []int // model m → hosting client
 	active       []bool
 	participants []bool // per-round α-selection (Sec. II-A)
+	forced       []int  // externally chosen participants (fleet allocator)
 	migrator     Migrator
 
 	// Cohort mode (cfg.CohortSize > 0): models[m]/opts[m] are nil unless
@@ -53,6 +54,7 @@ type Trainer struct {
 	clientDist []stats.Distribution
 
 	pool      *sched.Pool
+	ownPool   bool // true when the trainer created pool and must close it
 	rng       *tensor.RNG
 	epoch     int
 	round     int
@@ -116,14 +118,18 @@ func NewTrainer(cfg Config, clients []*Client, topo *edgenet.Topology, cost *edg
 		test:     test,
 		factory:  factory,
 		migrator: migrator,
-		pool:     sched.New(cfg.Workers),
+		pool:     cfg.Pool,
 		rng:      tensor.NewRNG(cfg.Seed),
+	}
+	if t.pool == nil {
+		t.pool = sched.New(cfg.Workers)
+		t.ownPool = true
 	}
 	t.global = factory()
 	t.modelSize = t.global.ByteSize()
 	k := len(clients)
-	t.lazy = cfg.CohortSize > 0
-	if t.lazy {
+	t.lazy = cfg.CohortSize > 0 || cfg.LazyHydration
+	if cfg.CohortSize > 0 {
 		t.sampler = &cohortSampler{k: k, size: cfg.CohortSize, min: cfg.MinCohort, seed: cfg.Seed}
 	}
 	t.models = make([]*nn.Sequential, k)
@@ -536,11 +542,26 @@ func (t *Trainer) addProxGrad(model *nn.Sequential, globalVec *tensor.Tensor) {
 }
 
 // selectParticipants draws the clients taking part in the next global
-// iteration: the seeded cohort sample in cohort mode, otherwise the
-// α-fraction (all clients when ClientFraction is 0 or 1).
+// iteration: the externally forced set when SetParticipants chose one,
+// else the seeded cohort sample in cohort mode, otherwise the α-fraction
+// (all clients when ClientFraction is 0 or 1).
 func (t *Trainer) selectParticipants() {
 	k := len(t.clients)
-	if t.lazy {
+	if t.forced != nil {
+		for i := range t.participants {
+			t.participants[i] = false
+		}
+		n := 0
+		for _, c := range t.forced {
+			if c >= 0 && c < k {
+				t.participants[c] = true
+				n++
+			}
+		}
+		t.mCohort.Set(float64(n))
+		return
+	}
+	if t.sampler != nil {
 		cohort := t.sampler.sample(t.round+t.cfg.RoundOffset, t.active)
 		for i := range t.participants {
 			t.participants[i] = false
@@ -911,7 +932,9 @@ func (t *Trainer) Run() *Result {
 	// inline execution, so concurrency stays bounded by cfg.Workers).
 	prevPool := tensor.InstallPool(t.pool)
 	defer tensor.InstallPool(prevPool)
-	defer t.pool.Close()
+	if t.ownPool {
+		defer t.pool.Close()
+	}
 	cfg := t.cfg
 	res := &Result{}
 	t.started = telemetry.Now()

@@ -23,6 +23,7 @@ import (
 	"fedmigr/internal/faults"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/privacy"
+	"fedmigr/internal/sched"
 )
 
 // SchemeKind selects the federated-training scheme.
@@ -165,6 +166,17 @@ type Config struct {
 	// set by checkpoint resume so a resumed run draws the same cohorts the
 	// uninterrupted run would have.
 	RoundOffset int
+
+	// LazyHydration forces cohort-style replica hydration without a cohort
+	// sampler: replicas exist only for the clients SetParticipants names
+	// each round. The fleet manager sets it so N jobs sharing one client
+	// pool each keep O(demand) live replicas, never O(K).
+	LazyHydration bool
+	// Pool, when non-nil, is an externally owned scheduler pool the trainer
+	// uses instead of creating its own; the owner closes it. The fleet
+	// manager hands every job's trainer the same pool so concurrent jobs
+	// share one set of workers instead of oversubscribing the machine.
+	Pool *sched.Pool
 
 	Seed int64
 }

@@ -24,6 +24,9 @@ type AggregatorConfig struct {
 	// wait for uploads: a round whose stragglers never arrive resolves by
 	// deadline and forwards whatever did. Default 30s.
 	IOTimeout time.Duration
+	// JobID names the fleet job this aggregator folds uploads for; it must
+	// match the server's. Empty joins the legacy single-job session.
+	JobID string
 	// DialRetries / RetryBackoff mirror ClientConfig for the server dial.
 	DialRetries  int
 	RetryBackoff time.Duration
@@ -179,12 +182,22 @@ func (a *Aggregator) Run() error {
 	defer func() { _ = conn.Close() }()
 
 	setDeadline(conn, a.cfg.IOTimeout)
-	if err := a.nm.write(conn, &Message{Type: MsgAggHello, ListenAddr: ln.Addr().String()}); err != nil {
+	if err := a.nm.write(conn, &Message{Type: MsgAggHello, JobID: a.cfg.JobID, ListenAddr: ln.Addr().String()}); err != nil {
 		return err
 	}
-	welcome, err := a.nm.expect(conn, MsgAggWelcome)
+	welcome, err := a.nm.read(conn)
 	if err != nil {
 		return err
+	}
+	if welcome.Type == MsgShutdown {
+		return fmt.Errorf("fednet: server rejected registration: it serves job %q, this aggregator serves job %q",
+			welcome.JobID, a.cfg.JobID)
+	}
+	if welcome.Type != MsgAggWelcome {
+		return typeMismatch(welcome.Type, MsgAggWelcome)
+	}
+	if welcome.JobID != a.cfg.JobID {
+		return fmt.Errorf("fednet: welcome for job %q, this aggregator serves job %q", welcome.JobID, a.cfg.JobID)
 	}
 	a.id = welcome.AggID
 	a.k = welcome.K

@@ -30,6 +30,10 @@ type ClientConfig struct {
 	// Timeout is the deprecated name for IOTimeout, kept for
 	// compatibility; IOTimeout wins when both are set. Default 30s.
 	Timeout time.Duration
+	// JobID names the fleet job this client trains for. It rides the Hello
+	// frame; a server serving a different job turns the registration away.
+	// Empty joins the legacy single-job session.
+	JobID string
 	// DialRetries is the number of re-attempts after a failed dial
 	// (server registration and C2C transfers), each preceded by
 	// exponential backoff with deterministic jitter. Default 3; negative
@@ -253,15 +257,26 @@ func (c *Client) Run() error {
 	setDeadline(conn, c.cfg.IOTimeout)
 	if err := c.nm.write(conn, &Message{
 		Type:       MsgHello,
+		JobID:      c.cfg.JobID,
 		ListenAddr: ln.Addr().String(),
 		NumSamples: c.dataset.Len(),
 		Dist:       c.dataset.LabelDistribution(),
 	}); err != nil {
 		return err
 	}
-	welcome, err := c.nm.expect(conn, MsgWelcome)
+	welcome, err := c.nm.read(conn)
 	if err != nil {
 		return err
+	}
+	if welcome.Type == MsgShutdown {
+		return fmt.Errorf("fednet: server rejected registration: it serves job %q, this client trains job %q",
+			welcome.JobID, c.cfg.JobID)
+	}
+	if welcome.Type != MsgWelcome {
+		return typeMismatch(welcome.Type, MsgWelcome)
+	}
+	if welcome.JobID != c.cfg.JobID {
+		return fmt.Errorf("fednet: welcome for job %q, this client trains job %q", welcome.JobID, c.cfg.JobID)
 	}
 	c.id = welcome.ClientID
 	c.k = welcome.K

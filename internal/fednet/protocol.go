@@ -112,6 +112,12 @@ type Message struct {
 	Round int
 	Epoch int
 
+	// JobID keys the session to one fleet job: registrations (Hello /
+	// AggHello) carry the node's job and the server accepts only matching
+	// peers, echoing the id in Welcome/AggWelcome. Empty on both sides is
+	// the single-job legacy session and always matches.
+	JobID string
+
 	// Hello / Welcome.
 	ClientID   int
 	ListenAddr string

@@ -17,6 +17,11 @@ import (
 
 // ServerConfig parameterizes the parameter server.
 type ServerConfig struct {
+	// JobID names the fleet job this session serves. Registrations whose
+	// JobID differs are turned away with a Shutdown frame (and do not count
+	// toward K), so several per-job servers can share one fleet of nodes
+	// without cross-wiring. Empty runs the legacy single-job session.
+	JobID string
 	// K is the number of clients to wait for.
 	K int
 	// Rounds is G, the number of global iterations.
@@ -329,6 +334,16 @@ func (s *Server) accept() error {
 		if err != nil {
 			return err
 		}
+		if (hello.Type == MsgHello || hello.Type == MsgAggHello) && hello.JobID != s.cfg.JobID {
+			// Wrong tenant: turn the peer away cleanly and keep accepting —
+			// in a multi-job fleet its registration belongs to another
+			// job's server.
+			s.nm.incJobMismatch()
+			s.cfg.Telemetry.Event("job_mismatch", "got", hello.JobID, "want", s.cfg.JobID)
+			_ = s.nm.write(conn, &Message{Type: MsgShutdown, JobID: s.cfg.JobID})
+			_ = conn.Close()
+			continue
+		}
 		switch hello.Type {
 		case MsgHello:
 			if clients == k {
@@ -347,7 +362,7 @@ func (s *Server) accept() error {
 			s.effSeen[id] = float64(hello.NumSamples)
 			s.loc[id] = id
 			if err := s.nm.write(conn, &Message{
-				Type: MsgWelcome, ClientID: id, K: k,
+				Type: MsgWelcome, ClientID: id, K: k, JobID: s.cfg.JobID,
 				Rounds: s.cfg.Rounds, AggEvery: s.cfg.AggEvery, Tau: s.cfg.Tau,
 				BatchSize: s.cfg.BatchSize, LR: s.cfg.LR,
 			}); err != nil {
@@ -365,7 +380,7 @@ func (s *Server) accept() error {
 			s.mu.Unlock()
 			s.aggAddrs[aid] = hello.ListenAddr
 			if err := s.nm.write(conn, &Message{
-				Type: MsgAggWelcome, AggID: aid, K: k,
+				Type: MsgAggWelcome, AggID: aid, K: k, JobID: s.cfg.JobID,
 			}); err != nil {
 				return err
 			}

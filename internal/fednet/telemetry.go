@@ -25,6 +25,7 @@ type netMetrics struct {
 	reroutes      *telemetry.Counter
 	lostModels    *telemetry.Counter
 	partialRounds *telemetry.Counter
+	jobMismatches *telemetry.Counter
 }
 
 // rpcBuckets spans 0.1 ms to ~6.5 s of blocking network time.
@@ -52,6 +53,7 @@ func newNetMetrics(tel *telemetry.Telemetry, role string) *netMetrics {
 	nm.reroutes = tel.Counter("fednet_reroutes_total", "role", role)
 	nm.lostModels = tel.Counter("fednet_lost_models_total", "role", role)
 	nm.partialRounds = tel.Counter("fednet_partial_rounds_total", "role", role)
+	nm.jobMismatches = tel.Counter("fednet_job_mismatches_total", "role", role)
 	return nm
 }
 
@@ -72,6 +74,12 @@ func (nm *netMetrics) incTimeout() {
 func (nm *netMetrics) incDeadClient() {
 	if nm != nil {
 		nm.deadClients.Inc()
+	}
+}
+
+func (nm *netMetrics) incJobMismatch() {
+	if nm != nil {
+		nm.jobMismatches.Inc()
 	}
 }
 

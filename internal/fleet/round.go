@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"fmt"
+
+	"fedmigr/internal/core"
+	"fedmigr/internal/tensor"
+)
+
+// RunRound executes one fleet round: promote queued jobs into freed budget,
+// evaluate the fault plan's liveness mask at round granularity, pick the
+// round's due jobs by fair-share credit, scale demands to the active fleet,
+// solve the client→slot assignment, and step each served job one global
+// iteration. Jobs step sequentially in submission order on the caller's
+// goroutine (parallelism lives inside the shared pool), so the round is
+// deterministic for any worker count. Returns the number of jobs served.
+func (m *Manager) RunRound() int {
+	// The shared pool backs every job's tensor kernels for the whole round;
+	// install once here rather than per trainer (core.RunRound installs
+	// nothing by design).
+	prevPool := tensor.InstallPool(m.pool)
+	defer tensor.InstallPool(prevPool)
+
+	m.promote()
+
+	// Liveness at round granularity: the plan's epoch axis is fleet rounds
+	// here. Per-job trainers run with Faults nil — the manager owns fault
+	// interpretation so a dead client is reallocated across ALL jobs.
+	active := make([]bool, m.topo.K())
+	activeCount := 0
+	for c := range active {
+		active[c] = m.plan == nil || !m.plan.Mentions(c) || m.plan.ActiveAt(c, m.round)
+		if active[c] {
+			activeCount++
+		}
+	}
+	m.mActive.Set(float64(activeCount))
+
+	// Fair share: every running job accrues Weight credits per fleet round
+	// and is due once its balance covers a round's cost of 1.
+	due := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.State != Running {
+			continue
+		}
+		j.credit += j.Cfg.Weight
+		if j.credit >= 1 {
+			due = append(due, j)
+		}
+	}
+
+	// Scarcity scaling: when the active fleet cannot cover total demand,
+	// deal clients round-robin starting at a round-rotated job so every due
+	// job is served at least once every few rounds and none starves
+	// permanently. With enough clients every job takes its full demand.
+	takes := make([]int, len(due))
+	if len(due) > 0 {
+		budget := activeCount
+		start := m.round % len(due)
+		for more := true; more && budget > 0; {
+			more = false
+			for i := 0; i < len(due) && budget > 0; i++ {
+				ji := (start + i) % len(due)
+				if takes[ji] < due[ji].Cfg.Demand {
+					takes[ji]++
+					budget--
+					more = true
+				}
+			}
+		}
+	}
+
+	assigned := m.allocate(due, takes, active)
+
+	served := 0
+	for i, j := range due {
+		got := assigned[j]
+		if len(got) == 0 {
+			// Starved: the fleet had no client to spare. The job keeps its
+			// credit and its round budget — it retries next round rather
+			// than losing a round.
+			m.mStarved.Inc()
+			if m.tel != nil {
+				m.tel.Event("fleet_starved", "job", j.Cfg.Name, "round", m.round,
+					"demand", j.Cfg.Demand, "active", activeCount)
+			}
+			continue
+		}
+		rm := j.Trainer.RunRound(got)
+		j.History = append(j.History, rm)
+		j.credit--
+		j.RoundsDone++
+		served++
+		m.mAllocated.Add(int64(len(got)))
+		if m.tel != nil {
+			m.tel.Event("fleet_job_round", "job", j.Cfg.Name, "round", m.round,
+				"job_round", j.RoundsDone, "clients", len(got), "take", takes[i],
+				"loss", rm.TrainLoss, "acc", rm.TestAcc)
+		}
+		if j.RoundsDone >= j.Cfg.Rounds {
+			j.State = Done
+			if m.tel != nil {
+				m.tel.Event("fleet_job_done", "job", j.Cfg.Name, "round", m.round,
+					"rounds", j.RoundsDone)
+			}
+		}
+	}
+
+	m.round++
+	m.mRounds.Inc()
+	m.updateGauges()
+	return served
+}
+
+// Run drives rounds until every job is Done or Rejected, or maxRounds
+// fleet rounds have elapsed (0 means no bound — callers should set one
+// when a fault plan could idle the whole fleet indefinitely). Returns the
+// number of fleet rounds executed by this call.
+func (m *Manager) Run(maxRounds int) int {
+	n := 0
+	for !m.Idle() {
+		if maxRounds > 0 && n >= maxRounds {
+			break
+		}
+		m.RunRound()
+		n++
+	}
+	return n
+}
+
+// Restore fast-forwards the manager to a checkpoint: the fleet round
+// counter plus each named job's completed-round count. Per-job trainer
+// progress (epoch/round counters and global model parameters) must be
+// restored separately by the caller via core's Restore and the checkpoint
+// loader — the manager only realigns its scheduling state, including the
+// fair-share credits and Done transitions the replayed rounds would have
+// produced. Must run before any RunRound call.
+func (m *Manager) Restore(round int, roundsDone map[string]int) error {
+	if m.round != 0 {
+		return fmt.Errorf("fleet: Restore after round %d", m.round)
+	}
+	if round < 0 {
+		return fmt.Errorf("fleet: Restore to negative round %d", round)
+	}
+	for name, n := range roundsDone {
+		j := m.Job(name)
+		if j == nil {
+			return fmt.Errorf("fleet: Restore names unknown job %q", name)
+		}
+		if n < 0 || n > j.Cfg.Rounds {
+			return fmt.Errorf("fleet: Restore job %q to %d/%d rounds", name, n, j.Cfg.Rounds)
+		}
+		j.RoundsDone = n
+		// A full credit balance cannot be reconstructed from the checkpoint
+		// (it is not persisted); zero is the conservative choice — a weight-
+		// >1 job loses at most the fractional surplus it had accrued.
+		j.credit = 0
+		if n >= j.Cfg.Rounds && j.State == Running {
+			j.State = Done
+		}
+	}
+	m.round = round
+	m.promote()
+	m.updateGauges()
+	return nil
+}
+
+// JobMetrics returns the named job's history (nil for unknown jobs) — the
+// per-job equivalent of core.Result.History for checkpoint persistence.
+func (m *Manager) JobMetrics(name string) []core.RoundMetrics {
+	if j := m.Job(name); j != nil {
+		return j.History
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package qp
+
+import "fmt"
+
+// SolveRectAssignment computes an exact maximum-utility assignment for a
+// rectangular instance: utility[i][j] is the value of giving row i (a job
+// slot) column j (a client). Exactly min(rows, cols) pairs are formed —
+// every row when rows ≤ cols, every column when cols ≤ rows — maximizing
+// the total utility among all such complete assignments. The returned
+// dest has one entry per row; dest[i] == -1 marks a row left unassigned
+// (only possible when rows > cols).
+//
+// The rectangle is reduced to the square Hungarian solver by padding the
+// short side with zero-utility phantoms: a phantom column absorbs an
+// unassigned row, a phantom row absorbs an unused column, and neither
+// contributes value, so the padded optimum restricted to real entries is
+// the rectangular optimum. Cost is O(max(rows, cols)³) — the fleet
+// allocator switches to its greedy fallback above a configurable fleet
+// size rather than pay this cubic on tens of thousands of clients.
+func SolveRectAssignment(utility [][]float64) ([]int, float64, error) {
+	rows := len(utility)
+	if rows == 0 {
+		return nil, 0, fmt.Errorf("qp: empty assignment instance")
+	}
+	cols := len(utility[0])
+	if cols == 0 {
+		return nil, 0, fmt.Errorf("qp: assignment instance with no columns")
+	}
+	for i, row := range utility {
+		if len(row) != cols {
+			return nil, 0, fmt.Errorf("qp: utility row %d has %d entries, want %d", i, len(row), cols)
+		}
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	padded := make([][]float64, n)
+	for i := range padded {
+		padded[i] = make([]float64, n)
+		if i < rows {
+			copy(padded[i], utility[i])
+		}
+	}
+	dest, _, err := SolveAssignment(padded)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]int, rows)
+	total := 0.0
+	for i := 0; i < rows; i++ {
+		if dest[i] >= cols {
+			out[i] = -1 // phantom column: row left unassigned
+			continue
+		}
+		out[i] = dest[i]
+		total += utility[i][dest[i]]
+	}
+	return out, total, nil
+}

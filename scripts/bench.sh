@@ -114,3 +114,74 @@ awk '
 END { printf "\n]\n" }' "$tmp" > "$agg_out"
 
 echo "bench.sh: wrote $agg_out ($(grep -c '"mode"' "$agg_out") records)"
+
+# ---- multi-job fleet sweep -> BENCH_jobs.json -------------------------
+# Sweeps the multi-tenant job manager at 1/3/8 concurrent jobs over a
+# shared 1000-client fleet (2 fleet rounds each), plus a back-to-back
+# sequential baseline of the same 3 jobs in their own single-job fleets.
+# The headline number is ratio_vs_sequential on the 3-job multi record:
+# concurrent tenancy must stay within 1.3x of sequential (jobs step
+# serially inside a round by design, so the overhead is allocator +
+# bookkeeping only). Also records the rectangular Hungarian allocator
+# microbenchmark from internal/qp.
+jobs_out="BENCH_jobs.json"
+qp_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$simbin" "$qp_tmp"' EXIT
+go test -run '^$' -bench 'BenchmarkRectAssignment' -benchtime "$benchtime" ./internal/qp | tee "$qp_tmp"
+
+jobspec() {
+    n=$1 i=0 spec=""
+    while [ "$i" -lt "$n" ]; do
+        spec="${spec}name=j$i,model=mlp,demand=8,rounds=2,seed=$((i + 1));"
+        i=$((i + 1))
+    done
+    printf '%s' "$spec"
+}
+
+fleetflags="-clients 1000 -lans 10 -partition replicate -replica-shards 8 \
+    -perclass 8 -agg 2 -batch 8 -seed 9 -quiet"
+
+: > "$tmp"
+for n in 1 3 8; do
+    start=$(date +%s%N)
+    $simbin -jobs "$(jobspec "$n")" $fleetflags > /dev/null
+    elapsed=$(($(date +%s%N) - start))
+    echo "$n multi $elapsed"
+done | tee -a "$tmp"
+
+seq_total=0
+for i in 0 1 2; do
+    start=$(date +%s%N)
+    $simbin -jobs "name=j$i,model=mlp,demand=8,rounds=2,seed=$((i + 1))" \
+        $fleetflags > /dev/null
+    seq_total=$((seq_total + $(date +%s%N) - start))
+done
+echo "3 sequential $seq_total" | tee -a "$tmp"
+
+awk -v qpfile="$qp_tmp" '
+{
+    n++
+    jobs[n] = $1; mode[n] = $2; ns[n] = $3
+    if ($1 == 3 && $2 == "sequential") seq3 = $3
+    if ($1 == 3 && $2 == "multi")      multi3 = $3
+}
+END {
+    printf "[\n"
+    for (i = 1; i <= n; i++) {
+        ratio = "null"
+        if (jobs[i] == 3 && mode[i] == "multi" && seq3 > 0)
+            ratio = sprintf("%.3f", multi3 / seq3)
+        printf "  {\"jobs\": %d, \"clients\": 1000, \"mode\": \"%s\", \"ns_total\": %d, \"ns_per_fleet_round\": %d, \"ratio_vs_sequential\": %s},\n", \
+            jobs[i], mode[i], ns[i], ns[i] / 2, ratio
+    }
+    while ((getline line < qpfile) > 0) {
+        if (line !~ /^BenchmarkRectAssignment/) continue
+        split(line, f, /[ \t]+/)
+        name = f[1]; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+        m++
+        printf "%s  {\"op\": \"%s\", \"ns_per_op\": %.1f}", (m > 1 ? ",\n" : ""), name, f[3]
+    }
+    printf "\n]\n"
+}' "$tmp" > "$jobs_out"
+
+echo "bench.sh: wrote $jobs_out ($(grep -c '"jobs"\|"op"' "$jobs_out") records)"

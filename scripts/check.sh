@@ -27,6 +27,10 @@ go test -race -timeout 30m ./...
 # worker-invariance proofs run again explicitly so a -run filter in the
 # suite above can never silently skip them.
 go test -race -run 'Parity|WorkerCountInvariance|ParallelRunMatchesSerial' ./internal/tensor ./internal/core .
+# Multi-tenant determinism under the race detector: three concurrent jobs
+# over a shared 1000-client fleet must produce bit-identical per-job
+# models at 1 and 8 workers, streaming or buffered aggregation.
+go test -race -run 'TestFleetWorkerInvariance1k' .
 # 100k-client streaming smoke: one full cohort-sampled, hierarchically
 # aggregated run at 100 000 simulated clients. The test itself asserts the
 # post-GC heap ceiling (256 MB) and that peak hydrated replicas equal the
