@@ -33,6 +33,7 @@ import (
 
 	"fedmigr/internal/core"
 	"fedmigr/internal/data"
+	"fedmigr/internal/faults"
 	"fedmigr/internal/fednet"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/sched"
@@ -46,6 +47,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:7070", "server: address to listen on; client/aggregator: upload/peer listen address (default ephemeral)")
 		server    = flag.String("server", "127.0.0.1:7070", "client/aggregator: server address to join")
 		clients   = flag.Int("clients", 4, "server: number of clients to wait for")
+		maxCli    = flag.Int("max-clients", 0, "server: cohort cap for mid-session joins — nodes dialing in after the session starts are admitted with a warm model handoff until this many slots fill (0 = closed membership at -clients)")
 		nAggs     = flag.Int("aggregators", 0, "server: edge aggregators to register; clients then upload to their LAN aggregator and the server folds O(A·log K) partial sums per round")
 		rounds    = flag.Int("rounds", 4, "server: global iterations G")
 		agg       = flag.Int("agg", 5, "server: events per global iteration")
@@ -63,6 +65,7 @@ func main() {
 		retries   = flag.Int("dial-retries", 3, "client: dial re-attempts with exponential backoff (-1 disables)")
 		backoff   = flag.Duration("retry-backoff", 50*time.Millisecond, "client: base backoff before the first dial retry")
 		minAlive  = flag.Int("min-clients", 1, "server: quorum — abort when fewer clients remain alive")
+		leaveAft  = flag.Int("leave-after", 0, "client: leave the session gracefully after this many local epochs, migrating in-flight training state to the server for adoption (0 = stay)")
 		jobID     = flag.String("job", "", "fleet job this node belongs to; a server keyed to a job turns away peers carrying any other id (empty = legacy single-job session)")
 		workers   = flag.Int("workers", 0, "parallel workers for local tensor kernels (0 = NumCPU, 1 = serial; results are identical for any value)")
 		tracePath = flag.String("trace", "", "write JSONL telemetry records to this file")
@@ -104,7 +107,7 @@ func main() {
 			fatal(err)
 		}
 		srv, err := fednet.NewServer(fednet.ServerConfig{
-			K: *clients, Rounds: *rounds, AggEvery: *agg, Tau: *tau,
+			K: *clients, MaxClients: *maxCli, Rounds: *rounds, AggEvery: *agg, Tau: *tau,
 			BatchSize: *batch, LR: *lr, IOTimeout: *timeout,
 			MinClients: *minAlive, Aggregators: *nAggs, Telemetry: tel,
 			JobID: *jobID,
@@ -118,6 +121,9 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("fedmigr server on %s waiting for %d clients and %d aggregators\n", addr, *clients, *nAggs)
+		if *maxCli > *clients {
+			fmt.Printf("open membership: late joins accepted up to %d clients\n", *maxCli)
+		}
 		if err := runUntilSignal(ctx, srv.Run, srv.Close); err != nil {
 			fatal(err)
 		}
@@ -129,6 +135,10 @@ func main() {
 		if st := srv.Stats(); st.DeadClients+st.Reroutes+st.LostModels+st.PartialRounds > 0 {
 			fmt.Printf("faults handled: dead=%d reroutes=%d lost=%d partial_rounds=%d\n",
 				st.DeadClients, st.Reroutes, st.LostModels, st.PartialRounds)
+		}
+		if st := srv.Stats(); st.Joins+st.Leaves+st.StateMigrations > 0 {
+			fmt.Printf("churn handled: joins=%d leaves=%d state_migrations=%d\n",
+				st.Joins, st.Leaves, st.StateMigrations)
 		}
 
 	case "client":
@@ -144,10 +154,14 @@ func main() {
 		if *listen != "127.0.0.1:7070" {
 			cfgListen = *listen
 		}
+		var nf *faults.NodeFaults
+		if *leaveAft > 0 {
+			nf = &faults.NodeFaults{LeaveAfterEpochs: *leaveAft}
+		}
 		c, err := fednet.NewClient(fednet.ClientConfig{
 			ServerAddr: *server, ListenAddr: cfgListen, IOTimeout: *timeout,
 			DialRetries: *retries, RetryBackoff: *backoff, Telemetry: tel,
-			JobID: *jobID,
+			JobID: *jobID, Faults: nf,
 		}, parts[*shard], factory)
 		if err != nil {
 			fatal(err)
@@ -159,6 +173,12 @@ func main() {
 		tel.EmitSnapshot()
 		fmt.Printf("client %d done: %d local epochs, %d models migrated out\n",
 			c.ID(), c.Epochs, c.Migrations)
+		if c.Left {
+			fmt.Println("left the session gracefully; in-flight state migrated for adoption")
+		}
+		if c.Adopted > 0 {
+			fmt.Printf("adopted %d in-flight training states from departing peers\n", c.Adopted)
+		}
 
 	case "aggregator":
 		cfgListen := ""

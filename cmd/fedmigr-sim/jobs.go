@@ -2,10 +2,12 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
 	fedmigr "fedmigr"
+	"fedmigr/internal/checkpoint"
 	"fedmigr/internal/fleet"
 )
 
@@ -88,9 +90,10 @@ func parseJobs(spec string, base fedmigr.Options) ([]fedmigr.JobSpec, error) {
 }
 
 // runFleet drives the multi-job path of fedmigr-sim: assemble the fleet,
-// optionally resume from a version-2 checkpoint, run rounds (checkpointing
-// every ckptEvery fleet rounds), and print per-job trajectories.
-func runFleet(o fedmigr.FleetOptions, maxRounds, ckptEvery int, ckptDir string, resume, quiet bool) error {
+// optionally resume from a version-2 checkpoint (refusing membership
+// drift unless overridden), run rounds (checkpointing every ckptEvery
+// fleet rounds), and print per-job trajectories.
+func runFleet(o fedmigr.FleetOptions, maxRounds, ckptEvery int, ckptDir string, resume, quiet bool, mem checkpoint.Membership, allowDrift bool) error {
 	f, err := fedmigr.NewFleet(o)
 	if err != nil {
 		return err
@@ -103,6 +106,13 @@ func runFleet(o fedmigr.FleetOptions, maxRounds, ckptEvery int, ckptDir string, 
 		}
 	}
 	if resume {
+		warn, err := checkpoint.CheckMembership(ckptDir, mem, allowDrift)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		if warn != "" {
+			fmt.Fprintln(os.Stderr, "resume:", warn)
+		}
 		if err := f.RestoreState(ckptDir); err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}
@@ -124,6 +134,8 @@ func runFleet(o fedmigr.FleetOptions, maxRounds, ckptEvery int, ckptDir string, 
 	}
 	if ckptEvery > 0 {
 		if err := f.SaveState(ckptDir); err != nil {
+			fmt.Printf("checkpoint: %v\n", err)
+		} else if err := checkpoint.SaveMembership(ckptDir, mem); err != nil {
 			fmt.Printf("checkpoint: %v\n", err)
 		} else {
 			fmt.Printf("fleet checkpoint saved to %s\n", ckptDir)

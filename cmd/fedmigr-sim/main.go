@@ -69,9 +69,15 @@ func main() {
 		outageSpec   = flag.String("outage", "", "fault injection: transient outages as client:from-to[,...] (epochs, to exclusive)")
 		straggleSpec = flag.String("straggle", "", "fault injection: stragglers as clientxfactor[,...] e.g. 2x3.5")
 
-		ckptEvery = flag.Int("checkpoint-every", 0, "save a resumable checkpoint every N evaluations (0 = off; with -jobs, every N fleet rounds)")
-		ckptDir   = flag.String("checkpoint-dir", "checkpoints/sim", "directory for -checkpoint-every / -resume state")
-		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
+		joinSpec     = flag.String("join", "", "churn: late arrivals as client@epoch[,...] — the client does not exist before that epoch and enters the candidate set from it")
+		leaveSpec    = flag.String("leave", "", "churn: graceful departures as client@epoch[,...] — the in-flight training state migrates to a survivor instead of being lost")
+		crashMidSpec = flag.String("crash-mid", "", "churn: mid-epoch crashes as client@epoch:batch[,...] — the interrupted TrainState is rescued and resumed bit-identically on another node")
+		churnSpec    = flag.String("churn", "", "churn: seeded arrival process as first:count:from-to — count clients with ids first..first+count-1 join at plan-seeded epochs in [from,to)")
+
+		ckptEvery  = flag.Int("checkpoint-every", 0, "save a resumable checkpoint every N evaluations (0 = off; with -jobs, every N fleet rounds)")
+		ckptDir    = flag.String("checkpoint-dir", "checkpoints/sim", "directory for -checkpoint-every / -resume state")
+		resume     = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
+		allowDrift = flag.Bool("allow-membership-drift", false, "resume even when the checkpoint's membership manifest disagrees with the membership the flags describe (warns instead of refusing)")
 
 		jobsSpec     = flag.String("jobs", "", "multi-tenant mode: run N jobs over one shared client fleet; spec is name=a,demand=4,rounds=10[,weight=,scheme=,dataset=,model=,migrator=,agg=,tau=,lr=,batch=,perclass=,noise=,seed=];name=b,... — unset per-job keys inherit the top-level flags")
 		maxHydrated  = flag.Int("max-hydrated", 0, "with -jobs: admission budget on the summed demand of running jobs (0 = unlimited)")
@@ -106,11 +112,15 @@ func main() {
 			fmt.Printf("debug surface on http://%s/ (metrics, trace, pprof)\n", *debugAddr)
 		}
 	}
-	plan, err := buildFaultPlan(*seed, *crashSpec, *outageSpec, *straggleSpec)
+	plan, err := buildFaultPlan(*seed, *crashSpec, *outageSpec, *straggleSpec,
+		*joinSpec, *leaveSpec, *crashMidSpec, *churnSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// The membership the flags describe: checked against the checkpoint's
+	// manifest on -resume, saved alongside every checkpoint.
+	mem := checkpoint.NewMembership(*clients, plan)
 	o := fedmigr.Options{
 		Scheme:          sk,
 		Dataset:         fedmigr.Dataset(*dataset),
@@ -160,7 +170,7 @@ func main() {
 			Workers: *workers, Faults: plan, Telemetry: tel, Seed: *seed,
 			Jobs: jobs,
 		}
-		if err := runFleet(fo, *maxRounds, *ckptEvery, *ckptDir, *resume, *quiet); err != nil {
+		if err := runFleet(fo, *maxRounds, *ckptEvery, *ckptDir, *resume, *quiet, mem, *allowDrift); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -170,10 +180,20 @@ func main() {
 		return
 	}
 
-	// Resume: read the prior history first so the remaining epoch budget is
-	// known before the simulation is assembled.
+	// Resume: verify the checkpoint was saved under the membership the flags
+	// describe (a drifted cohort would silently become a different
+	// experiment), then read the prior history so the remaining epoch budget
+	// is known before the simulation is assembled.
 	var prior []core.RoundMetrics
 	if *resume {
+		warn, err := checkpoint.CheckMembership(*ckptDir, mem, *allowDrift)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+		if warn != "" {
+			fmt.Fprintln(os.Stderr, "resume:", warn)
+		}
 		f, err := os.Open(*ckptDir + "/" + checkpoint.RunStateMetrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
@@ -223,6 +243,8 @@ func main() {
 			}
 			if err := checkpoint.SaveRunState(*ckptDir, g, append(append([]core.RoundMetrics{}, prior...), recorded...)); err != nil {
 				fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			} else if err := checkpoint.SaveMembership(*ckptDir, mem); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
 			}
 		})
 	}
@@ -235,6 +257,8 @@ func main() {
 	}
 	if *ckptEvery > 0 {
 		if err := checkpoint.SaveRunState(*ckptDir, sim.Trainer.GlobalModel(), combined); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		} else if err := checkpoint.SaveMembership(*ckptDir, mem); err != nil {
 			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
 		} else {
 			fmt.Printf("checkpoint saved to %s\n", *ckptDir)
@@ -256,6 +280,10 @@ func main() {
 		float64(res.Snapshot.GlobalBytes)/1e6, float64(res.Snapshot.LocalBytes)/1e6)
 	fmt.Printf("time: wall=%.1fs device-compute=%.1fs transfers=%d\n",
 		res.Snapshot.WallSeconds, res.Snapshot.ComputeSecs, res.Snapshot.NumTransfers)
+	if plan.Joins() > 0 || len(plan.LeaveSchedule()) > 0 || sim.Trainer.StateMigrations() > 0 {
+		fmt.Printf("churn: joins=%d leaves=%d state_migrations=%d\n",
+			plan.Joins(), len(plan.LeaveSchedule()), sim.Trainer.StateMigrations())
+	}
 	if res.ReachedTarget {
 		fmt.Println("target accuracy reached")
 	}
@@ -284,9 +312,11 @@ func main() {
 }
 
 // buildFaultPlan assembles a faults.Plan from the -crash / -outage /
-// -straggle flag grammars; all empty returns a nil plan (faults off).
-func buildFaultPlan(seed int64, crash, outage, straggle string) (*faults.Plan, error) {
-	if crash == "" && outage == "" && straggle == "" {
+// -straggle fault grammars plus the -join / -leave / -crash-mid / -churn
+// membership grammars; all empty returns a nil plan (faults off).
+func buildFaultPlan(seed int64, crash, outage, straggle, join, leave, crashMid, churn string) (*faults.Plan, error) {
+	if crash == "" && outage == "" && straggle == "" &&
+		join == "" && leave == "" && crashMid == "" && churn == "" {
 		return nil, nil
 	}
 	p := faults.NewPlan(seed)
@@ -326,6 +356,54 @@ func buildFaultPlan(seed int64, crash, outage, straggle string) (*faults.Plan, e
 			return nil, fmt.Errorf("-straggle %q: bad factor: %v", spec, err)
 		}
 		p.Straggler(c, f)
+	}
+	for _, spec := range splitSpecs(join) {
+		c, e, err := parsePair(spec, "@")
+		if err != nil {
+			return nil, fmt.Errorf("-join %q: want client@epoch: %v", spec, err)
+		}
+		p.JoinAt(c, e)
+	}
+	for _, spec := range splitSpecs(leave) {
+		c, e, err := parsePair(spec, "@")
+		if err != nil {
+			return nil, fmt.Errorf("-leave %q: want client@epoch: %v", spec, err)
+		}
+		p.LeaveAt(c, e)
+	}
+	for _, spec := range splitSpecs(crashMid) {
+		i := strings.IndexByte(spec, '@')
+		if i < 0 {
+			return nil, fmt.Errorf("-crash-mid %q: want client@epoch:batch", spec)
+		}
+		c, err := strconv.Atoi(spec[:i])
+		if err != nil {
+			return nil, fmt.Errorf("-crash-mid %q: bad client: %v", spec, err)
+		}
+		e, b, err := parsePair(spec[i+1:], ":")
+		if err != nil {
+			return nil, fmt.Errorf("-crash-mid %q: want client@epoch:batch: %v", spec, err)
+		}
+		p.CrashMidEpoch(c, e, b)
+	}
+	if churn != "" {
+		parts := strings.SplitN(churn, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-churn %q: want first:count:from-to", churn)
+		}
+		first, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("-churn %q: bad first client: %v", churn, err)
+		}
+		count, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("-churn %q: bad count: %v", churn, err)
+		}
+		from, to, err := parsePair(parts[2], "-")
+		if err != nil {
+			return nil, fmt.Errorf("-churn %q: want first:count:from-to: %v", churn, err)
+		}
+		p.Arrivals(first, count, from, to)
 	}
 	return p, nil
 }

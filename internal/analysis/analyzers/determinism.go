@@ -21,6 +21,10 @@ var deterministicZones = []string{
 	"fedmigr/internal/sched",
 	"fedmigr/internal/agg",
 	"fedmigr/internal/fleet",
+	// Membership and migration schedules: the simulator and the TCP runtime
+	// must replay the identical churn from a Plan, so arrival draws and
+	// schedule accessors may not touch wall clock or ambient randomness.
+	"fedmigr/internal/faults",
 }
 
 // seededRandCtors are the math/rand entry points that take an explicit
@@ -44,7 +48,7 @@ var seededRandCtors = map[string]bool{
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbids time.Now/time.Since, global math/rand, and map-order-dependent " +
-		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg, fleet); " +
+		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg, fleet, faults); " +
 		"telemetry timing must use the injected telemetry.Now/Since clock",
 	Run: runDeterminism,
 }

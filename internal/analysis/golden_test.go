@@ -23,6 +23,7 @@ var fixtures = []struct {
 	{"determinism", "fedmigr/internal/core", analyzers.Determinism},
 	{"determinismagg", "fedmigr/internal/agg", analyzers.Determinism},
 	{"determinismfleet", "fedmigr/internal/fleet", analyzers.Determinism},
+	{"determinismfaults", "fedmigr/internal/faults", analyzers.Determinism},
 	{"lockcheck", "fedmigr/internal/fednet", analyzers.LockCheck},
 	{"errcheck", "fedmigr/internal/fednet", analyzers.ErrCheck},
 	{"telemetrynames", "fedmigr/internal/core", analyzers.TelemetryNames},

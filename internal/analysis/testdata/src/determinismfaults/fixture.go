@@ -1,0 +1,45 @@
+// Package fixture proves the determinism zone gate covers the fault and
+// churn schedules: the golden test loads it under the import path
+// fedmigr/internal/faults, where a Plan's arrival process and membership
+// events must be a pure function of the plan seed — the simulator and the
+// TCP runtime replay the identical churn, so no wall clock, no global RNG,
+// and no map-order-dependent reductions may leak into a schedule.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func arrivalJitter() time.Duration {
+	return time.Since(time.Unix(0, 0)) // want `wall clock time.Since`
+}
+
+func randomJoinEpoch(window int) int {
+	return rand.Intn(window) // want `global math/rand Intn`
+}
+
+func earliestEvent(joins map[int]int) []int {
+	var epochs []int
+	for _, e := range joins { // want `map iteration feeds a reduction`
+		epochs = append(epochs, e)
+	}
+	return epochs
+}
+
+// keyedSchedule is allowed: each join epoch lands at its client's own
+// slot, so the write set is independent of iteration order.
+func keyedSchedule(joins map[int]int, byClient []int) {
+	for c, e := range joins {
+		byClient[c] = e
+	}
+}
+
+func suppressedChurnRate(leaves map[int]int) int {
+	n := 0
+	//lint:ignore determinism integer sum of epochs: commutative over any iteration order
+	for _, e := range leaves {
+		n += e
+	}
+	return n
+}

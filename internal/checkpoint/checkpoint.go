@@ -4,6 +4,16 @@
 // checkpoints are portable and diffable. A downstream user can pre-train
 // the EMPG agent once, save it, and deploy it frozen across runs — the
 // paper's offline-training workflow.
+//
+// Run-state schema versions: v1 is a bare model.bin + metrics.csv; v2
+// adds the runstate.json fleet manifest for multi-job runs; v3 adds
+// membership.json, the cohort-shape manifest checked on resume. In-flight
+// core.TrainState blobs follow the same discipline as these files: a
+// magic ("FMTS") plus an explicit big-endian version precede the payload,
+// the version bumps on ANY field change, readers accept only versions
+// they know (never forward-parse a newer blob), and the magic never
+// changes — so a state migrated between nodes of mismatched builds fails
+// loudly instead of resuming garbage.
 package checkpoint
 
 import (

@@ -1,0 +1,98 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedmigr/internal/faults"
+)
+
+func churnMembership(seed int64) Membership {
+	return NewMembership(8, faults.NewPlan(seed).JoinAt(8, 2).JoinAt(9, 4).LeaveAt(3, 3))
+}
+
+func TestMembershipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := churnMembership(7)
+	if err := SaveMembership(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMembership(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Version != MembershipVersion || got.Clients != 8 || got.PlanSeed != 7 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if len(got.Joins) != 2 || got.Joins[9] != 4 || got.Leaves[3] != 3 {
+		t.Fatalf("schedule round trip %+v", got)
+	}
+	if diffs := got.Diff(churnMembership(7)); diffs != nil {
+		t.Fatalf("identical memberships diff: %v", diffs)
+	}
+}
+
+func TestMembershipDiff(t *testing.T) {
+	saved := churnMembership(7)
+	cur := NewMembership(10, faults.NewPlan(8).JoinAt(8, 5).LeaveAt(3, 3).LeaveAt(4, 6))
+	diffs := saved.Diff(cur)
+	// Expect: client count, plan seed, join 8 epoch moved, join 9 dropped,
+	// leave 4 added — five divergences, each naming its client or flag.
+	if len(diffs) != 5 {
+		t.Fatalf("got %d diffs, want 5:\n%s", len(diffs), strings.Join(diffs, "\n"))
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"8 clients", "seed 7", "client 8", "client 9", "client 4"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+	// Two static runs need not agree on an unused plan seed.
+	a, b := NewMembership(4, faults.NewPlan(1)), NewMembership(4, faults.NewPlan(2))
+	if diffs := a.Diff(b); diffs != nil {
+		t.Fatalf("static runs with different seeds diff: %v", diffs)
+	}
+}
+
+func TestCheckMembership(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveMembership(dir, churnMembership(7)); err != nil {
+		t.Fatal(err)
+	}
+	// Matching shape: silent pass.
+	warn, err := CheckMembership(dir, churnMembership(7), false)
+	if err != nil || warn != "" {
+		t.Fatalf("matching membership: warn=%q err=%v", warn, err)
+	}
+	// Drifted shape: pointed error naming the divergence and the override.
+	drifted := NewMembership(8, faults.NewPlan(7).JoinAt(8, 2).LeaveAt(3, 3))
+	if _, err := CheckMembership(dir, drifted, false); err == nil {
+		t.Fatal("membership drift must refuse the resume")
+	} else if !strings.Contains(err.Error(), "client 9") ||
+		!strings.Contains(err.Error(), "-allow-membership-drift") {
+		t.Fatalf("drift error not actionable: %v", err)
+	}
+	// The override converts the refusal into a warning.
+	warn, err = CheckMembership(dir, drifted, true)
+	if err != nil || !strings.Contains(warn, "drift accepted") {
+		t.Fatalf("override: warn=%q err=%v", warn, err)
+	}
+	// Pre-v3 checkpoint (no manifest): warn and continue.
+	warn, err = CheckMembership(t.TempDir(), churnMembership(7), false)
+	if err != nil || !strings.Contains(warn, "predates membership manifests") {
+		t.Fatalf("pre-v3: warn=%q err=%v", warn, err)
+	}
+	// A future schema version is refused, not guessed at.
+	future := filepath.Join(t.TempDir(), "future")
+	if err := os.MkdirAll(future, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(future, MembershipFile), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckMembership(future, churnMembership(7), false); err == nil {
+		t.Fatal("future schema version must be refused")
+	}
+}

@@ -60,6 +60,7 @@ type Trainer struct {
 	round     int
 	lastLoss  float64
 	prevLoss  float64
+	stateMigr int // completed in-flight state migrations (mid-epoch rescues)
 	history   []RoundMetrics
 	pending   *pendingFeedback
 	modelSize int64
@@ -73,6 +74,7 @@ type Trainer struct {
 	mEpochs     *telemetry.Counter
 	mRounds     *telemetry.Counter
 	mMigrations *telemetry.Counter
+	mStateMigr  *telemetry.Counter
 	mFaults     *telemetry.Counter
 	mCohort     *telemetry.Gauge
 	mHydrated   *telemetry.Gauge
@@ -183,6 +185,7 @@ func (t *Trainer) SetTelemetry(tel *telemetry.Telemetry) {
 	t.mEpochs = tel.Counter("core_epochs_total")
 	t.mRounds = tel.Counter("core_rounds_total")
 	t.mMigrations = tel.Counter("core_migrations_total")
+	t.mStateMigr = tel.Counter("core_state_migrations_total")
 	t.mFaults = tel.Counter("core_fault_transitions_total")
 	t.mCohort = tel.Gauge("core_cohort_size")
 	t.mHydrated = tel.Gauge("core_hydrated_models")
@@ -222,6 +225,11 @@ func (t *Trainer) applyFaults() {
 				if e, ok := p.CrashEpoch(c); ok && t.epoch >= e {
 					kind = "crash"
 				}
+				if e, ok := p.LeaveEpoch(c); ok && t.epoch >= e {
+					kind = "leave"
+				}
+			} else if e, ok := p.JoinEpoch(c); ok && t.epoch == e {
+				kind = "join"
 			}
 			t.tel.Event("fault", "client", c, "epoch", t.epoch, "kind", kind)
 		}
@@ -253,6 +261,10 @@ func (t *Trainer) recordRound(loss, acc float64) {
 
 // Epoch returns the current epoch index.
 func (t *Trainer) Epoch() int { return t.epoch }
+
+// StateMigrations returns how many in-flight TrainState migrations
+// (mid-epoch rescues) the run has completed.
+func (t *Trainer) StateMigrations() int { return t.stateMigr }
 
 // Locations returns the current model→client hosting map (a copy).
 func (t *Trainer) Locations() []int { return append([]int(nil), t.loc...) }
@@ -413,8 +425,13 @@ func (t *Trainer) localEpoch() float64 {
 	}
 	// Snapshot the work list sequentially: engagement (faults + α-selection)
 	// and model locations are coordinator state and must not be read from
-	// inside parallel jobs.
-	type job struct{ m, host int }
+	// inside parallel jobs. A host with a mid-epoch crash scheduled this
+	// epoch trains up to its cut batch only; the coordinator migrates and
+	// resumes the interrupted state afterwards.
+	type job struct {
+		m, host int
+		cut     int // mid-epoch crash cursor (-1 = uninterrupted)
+	}
 	jobs := make([]job, 0, k)
 	for m := 0; m < k; m++ {
 		if t.models[m] == nil {
@@ -424,18 +441,48 @@ func (t *Trainer) localEpoch() float64 {
 		if !t.engaged(host) || t.clients[host].Data.Len() == 0 {
 			continue
 		}
-		jobs = append(jobs, job{m: m, host: host})
+		cut := -1
+		if ce, cb, ok := t.cfg.Faults.MidEpochCrash(host); ok && ce == t.epoch {
+			cut = cb
+		}
+		jobs = append(jobs, job{m: m, host: host, cut: cut})
 	}
 	losses := make([]float64, len(jobs))
 	ctime := make([]float64, len(jobs))
+	blobs := make([][]byte, len(jobs))
 	t.pool.ForEach("local_epoch", len(jobs), func(i int) {
 		j := jobs[i]
 		ds := t.clients[j.host].Data
 		g := tensor.NewRNG(modelEpochSeed(t.cfg.Seed, t.epoch, j.m))
-		losses[i] = t.trainOneEpoch(t.models[j.m], t.opts[j.m], ds, globalVec, g)
-		ctime[i] = t.cost.ComputeTime(j.host, ds.Len())
+		if j.cut >= 0 {
+			// Interrupted epoch: train the prefix, then capture the
+			// in-flight TrainState through the real wire codec — the
+			// coordinator resumes it on another node below. losses[i]
+			// temporarily holds the partial loss *sum*; the resume
+			// overwrites it with the finished epoch's average.
+			order := t.epochBatchOrder(ds, g)
+			cut := j.cut
+			if cut > len(order) {
+				cut = len(order)
+			}
+			lossSum := t.trainBatches(t.models[j.m], t.opts[j.m], ds, globalVec, order[:cut])
+			ts := CaptureTrainState(j.m, t.epoch, modelEpochSeed(t.cfg.Seed, t.epoch, j.m),
+				order, cut, lossSum, t.models[j.m], t.opts[j.m])
+			blob, err := ts.Marshal()
+			if err != nil {
+				panic(fmt.Sprintf("core: capture TrainState for model %d: %v", j.m, err))
+			}
+			blobs[i] = blob
+			losses[i] = lossSum
+			ctime[i] = t.cost.ComputeTime(j.host, t.batchSpanSamples(ds, order[:cut]))
+		} else {
+			losses[i] = t.trainOneEpoch(t.models[j.m], t.opts[j.m], ds, globalVec, g)
+			ctime[i] = t.cost.ComputeTime(j.host, ds.Len())
+		}
 		// Fold the host's distribution into the model's effective mixture
-		// (index-private: job i owns effDist[m] and effSeen[m]).
+		// (index-private: job i owns effDist[m] and effSeen[m]). The fold
+		// is the same for interrupted epochs: the migrated remainder still
+		// trains over this host's shard.
 		n := float64(ds.Len())
 		mix := make(stats.Distribution, len(t.effDist[j.m]))
 		hostDist := ds.LabelDistribution()
@@ -446,8 +493,24 @@ func (t *Trainer) localEpoch() float64 {
 		t.effDist[j.m] = mix
 		t.effSeen[j.m] = tot
 	})
-	// Deterministic reduction, in model-index order.
+	// Migrate and resume interrupted replicas on the coordinator, in
+	// job-index order — deterministic for any worker count.
 	perClientTime := make([]float64, k)
+	migrateWall := 0.0
+	for i, j := range jobs {
+		if blobs[i] == nil {
+			continue
+		}
+		avg, dt, wall := t.resumeInterrupted(j.m, j.host, blobs[i], globalVec)
+		losses[i] = avg
+		for c, s := range dt {
+			perClientTime[c] += s
+		}
+		if wall > migrateWall {
+			migrateWall = wall
+		}
+	}
+	// Deterministic reduction, in model-index order.
 	lossSum := 0.0
 	for i, j := range jobs {
 		lossSum += losses[i]
@@ -460,7 +523,7 @@ func (t *Trainer) localEpoch() float64 {
 			wall = s
 		}
 	}
-	t.acct.AddWallTime(wall)
+	t.acct.AddWallTime(wall + migrateWall)
 	t.acct.AddComputeTime(device)
 	t.mEpochs.Inc()
 	avg := t.lastLoss
@@ -490,6 +553,20 @@ func modelEpochSeed(seed int64, epoch, m int) int64 {
 // optional batch-order shuffle. Batch tensors are recycled through the
 // scheduler arena, so steady-state training allocates no batch storage.
 func (t *Trainer) trainOneEpoch(model *nn.Sequential, opt *nn.SGD, ds *data.Dataset, globalVec *tensor.Tensor, g *tensor.RNG) float64 {
+	order := t.epochBatchOrder(ds, g)
+	if len(order) == 0 {
+		return 0
+	}
+	lossSum := t.trainBatches(model, opt, ds, globalVec, order)
+	return lossSum / float64(len(order))
+}
+
+// epochBatchOrder returns the epoch's batch visiting order: the identity
+// permutation, shuffled through the model's private RNG stream when
+// ShuffleBatches asks for it. The returned order is the materialized
+// position of the stream — storing it in a TrainState pins a mid-epoch
+// resume to the exact same batches without serializing raw RNG internals.
+func (t *Trainer) epochBatchOrder(ds *data.Dataset, g *tensor.RNG) []int {
 	b := t.cfg.BatchSize
 	nb := (ds.Len() + b - 1) / b
 	order := make([]int, nb)
@@ -499,6 +576,17 @@ func (t *Trainer) trainOneEpoch(model *nn.Sequential, opt *nn.SGD, ds *data.Data
 	if t.cfg.ShuffleBatches && g != nil {
 		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
+	return order
+}
+
+// trainBatches runs mini-batch SGD over the given slice of an epoch's
+// batch order and returns the summed (not averaged) loss — the resumable
+// core of trainOneEpoch. A mid-epoch migration captures the cursor into
+// this order; the receiving node finishes the remainder through this same
+// function, so an interrupted epoch is bit-identical to an uninterrupted
+// one.
+func (t *Trainer) trainBatches(model *nn.Sequential, opt *nn.SGD, ds *data.Dataset, globalVec *tensor.Tensor, order []int) float64 {
+	b := t.cfg.BatchSize
 	c, h, w := ds.Spec()
 	lossSum := 0.0
 	for _, wi := range order {
@@ -520,10 +608,100 @@ func (t *Trainer) trainOneEpoch(model *nn.Sequential, opt *nn.SGD, ds *data.Data
 		tensor.PutScratch(x)
 		lossSum += loss
 	}
-	if nb == 0 {
-		return 0
+	return lossSum
+}
+
+// resumeInterrupted migrates a mid-epoch-crashed replica to a live node
+// and finishes its epoch there: the TrainState blob is decoded through the
+// real wire codec, restored onto a *freshly materialized* replica and
+// optimizer (modeling arrival on another machine), and the remaining
+// batches of the victim's shard are replayed from the captured order and
+// cursor — bit-identical to an uninterrupted epoch, since the parameters,
+// momentum buffers, batch order and loss accumulator all travel in the
+// blob. Returns the finished epoch's average loss, per-client compute-time
+// deltas, and the wall time of the state transfer + remainder.
+//
+// Runs on the coordinator in job-index order, so results are identical for
+// any worker count.
+func (t *Trainer) resumeInterrupted(m, victim int, blob []byte, globalVec *tensor.Tensor) (float64, []float64, float64) {
+	ts, err := UnmarshalTrainState(blob)
+	if err != nil {
+		panic(fmt.Sprintf("core: migrated TrainState for model %d: %v", m, err))
 	}
-	return lossSum / float64(nb)
+	fresh := t.factory()
+	freshOpt := nn.NewSGDMomentum(ts.LR, ts.Momentum)
+	if err := ts.Restore(fresh, freshOpt); err != nil {
+		panic(fmt.Sprintf("core: restore TrainState for model %d: %v", m, err))
+	}
+	if t.lazy && t.models[m] != nil {
+		// The superseded replica object returns to the free list; the next
+		// hydration overwrites its parameters anyway.
+		t.freeModels = append(t.freeModels, t.models[m])
+	}
+	t.models[m] = fresh
+	t.opts[m] = freshOpt
+
+	ds := t.clients[victim].Data
+	rest := ts.Order[ts.BatchCursor:]
+	lossSum := ts.LossSum + t.trainBatches(fresh, freshOpt, ds, globalVec, rest)
+	avg := 0.0
+	if ts.NumBatches > 0 {
+		avg = lossSum / float64(ts.NumBatches)
+	}
+
+	dt := make([]float64, len(t.clients))
+	wall := 0.0
+	target := t.rescueTarget(victim)
+	if target >= 0 {
+		kind := t.topo.Kind(victim, target)
+		t.acct.RecordTransfer(victim, target, kind, int64(len(blob)))
+		wall = t.cost.TransferTime(victim, target, kind, int64(len(blob)))
+		rem := t.cost.ComputeTime(target, t.batchSpanSamples(ds, rest))
+		dt[target] += rem
+		wall += rem
+		t.loc[m] = target
+		t.stateMigr++
+		t.mStateMigr.Inc()
+		if t.tel != nil {
+			t.tel.Event("state_migration",
+				"epoch", t.epoch, "model", m, "from", victim, "to", target,
+				"cursor", ts.BatchCursor, "batches", ts.NumBatches, "bytes", len(blob))
+		}
+	} else {
+		// No live rescuer: the epoch still finishes (the simulator can
+		// always replay the remainder), but hosting stays put and the
+		// remainder's compute is charged to the dying node.
+		dt[victim] += t.cost.ComputeTime(victim, t.batchSpanSamples(ds, rest))
+	}
+	return avg, dt, wall
+}
+
+// rescueTarget picks the node that adopts a dying client's in-flight
+// state: the lowest-id client that is engaged this round and is not the
+// victim. Pure function of coordinator state — deterministic across
+// worker counts and runs. Returns -1 when nobody can adopt.
+func (t *Trainer) rescueTarget(victim int) int {
+	for c := range t.clients {
+		if c != victim && t.engaged(c) && t.cfg.Faults.ActiveAt(c, t.epoch+1) {
+			return c
+		}
+	}
+	return -1
+}
+
+// batchSpanSamples counts the samples covered by the given batch indices.
+func (t *Trainer) batchSpanSamples(ds *data.Dataset, order []int) int {
+	b := t.cfg.BatchSize
+	n := 0
+	for _, wi := range order {
+		lo := wi * b
+		hi := lo + b
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		n += hi - lo
+	}
+	return n
 }
 
 // addProxGrad adds μ(w − w_g) to the accumulated gradients (FedProx).
@@ -542,10 +720,26 @@ func (t *Trainer) addProxGrad(model *nn.Sequential, globalVec *tensor.Tensor) {
 }
 
 // selectParticipants draws the clients taking part in the next global
-// iteration: the externally forced set when SetParticipants chose one,
-// else the seeded cohort sample in cohort mode, otherwise the α-fraction
-// (all clients when ClientFraction is 0 or 1).
+// iteration and then removes clients that have not yet joined under the
+// plan's arrival schedule: a pre-join client has no replica anywhere, so
+// it must carry no aggregation weight — this is what keeps quorum and
+// slot accounting correct as the cohort set changes.
 func (t *Trainer) selectParticipants() {
+	t.chooseParticipants()
+	if p := t.cfg.Faults; p != nil {
+		for c := range t.participants {
+			if t.participants[c] && !p.PresentAt(c, t.epoch) {
+				t.participants[c] = false
+			}
+		}
+	}
+}
+
+// chooseParticipants draws the raw participant set: the externally forced
+// set when SetParticipants chose one, else the seeded cohort sample in
+// cohort mode, otherwise the α-fraction (all clients when ClientFraction
+// is 0 or 1).
+func (t *Trainer) chooseParticipants() {
 	k := len(t.clients)
 	if t.forced != nil {
 		for i := range t.participants {

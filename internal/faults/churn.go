@@ -1,0 +1,193 @@
+package faults
+
+import "errors"
+
+// ErrLeft is returned by a node that left the session gracefully according
+// to its fault plan, after migrating its in-flight training state.
+var ErrLeft = errors.New("faults: node left by plan")
+
+// midCrash pins a crash to a point *inside* a local epoch: the client
+// completes Batch mini-batches of epoch Epoch and then dies. The partially
+// trained state is captured and migrated instead of discarded.
+type midCrash struct {
+	Epoch int
+	Batch int
+}
+
+// JoinAt schedules a late arrival: the client does not exist before the
+// given epoch and becomes eligible from it onwards. Joins compose with the
+// other faults — a joiner can later crash, drop out, or straggle.
+func (p *Plan) JoinAt(client, epoch int) *Plan {
+	if epoch < 0 {
+		epoch = 0
+	}
+	if p.joins == nil {
+		p.joins = map[int]int{}
+	}
+	if old, ok := p.joins[client]; !ok || epoch < old {
+		p.joins[client] = epoch
+	}
+	return p
+}
+
+// LeaveAt schedules a graceful departure: the client is gone for every
+// epoch ≥ epoch, but unlike CrashAt it announces the departure, so runtimes
+// migrate its in-flight training state to a survivor instead of losing it.
+func (p *Plan) LeaveAt(client, epoch int) *Plan {
+	if p.leaves == nil {
+		p.leaves = map[int]int{}
+	}
+	if old, ok := p.leaves[client]; !ok || epoch < old {
+		p.leaves[client] = epoch
+	}
+	return p
+}
+
+// CrashMidEpoch schedules a crash after the client has trained `batch`
+// mini-batches of epoch `epoch` (and permanently thereafter). The runtime
+// captures the interrupted TrainState at that exact cursor and resumes it
+// on another node, bit-identical to an uninterrupted epoch.
+func (p *Plan) CrashMidEpoch(client, epoch, batch int) *Plan {
+	if batch < 0 {
+		batch = 0
+	}
+	if p.midCrashes == nil {
+		p.midCrashes = map[int]midCrash{}
+	}
+	if old, ok := p.midCrashes[client]; !ok || epoch < old.Epoch {
+		p.midCrashes[client] = midCrash{Epoch: epoch, Batch: batch}
+	}
+	// The client is permanently down for epochs after the interrupted one.
+	return p.CrashAt(client, epoch+1)
+}
+
+// Arrivals schedules a seeded arrival process: `count` clients with ids
+// first..first+count-1 join at epochs drawn deterministically from the
+// half-open window [from, to). The draw is a pure splitmix64 hash of
+// (plan seed, client id), so the simulator and the TCP runtime replay the
+// identical churn schedule — at any rate, up to thousands of joins per
+// minute of simulated time.
+func (p *Plan) Arrivals(first, count, from, to int) *Plan {
+	if to <= from {
+		to = from + 1
+	}
+	span := uint64(to - from)
+	for i := 0; i < count; i++ {
+		c := first + i
+		z := uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(c)*0xbf58476d1ce4e5b9
+		z ^= z >> 30
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		p.JoinAt(c, from+int(z%span))
+	}
+	return p
+}
+
+// JoinEpoch returns the client's scheduled join epoch, if any.
+func (p *Plan) JoinEpoch(client int) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	e, ok := p.joins[client]
+	return e, ok
+}
+
+// LeaveEpoch returns the client's scheduled graceful-leave epoch, if any.
+func (p *Plan) LeaveEpoch(client int) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	e, ok := p.leaves[client]
+	return e, ok
+}
+
+// MidEpochCrash returns the epoch and batch cursor of the client's
+// scheduled mid-epoch crash, if any.
+func (p *Plan) MidEpochCrash(client int) (epoch, batch int, ok bool) {
+	if p == nil {
+		return 0, 0, false
+	}
+	mc, ok := p.midCrashes[client]
+	return mc.Epoch, mc.Batch, ok
+}
+
+// PresentAt reports whether the client exists at the given epoch: true
+// unless a join is scheduled later than epoch. A client that crashed or is
+// in an outage is still present (its replica is parked); a client that has
+// not yet joined is not — it contributes nothing to aggregation.
+func (p *Plan) PresentAt(client, epoch int) bool {
+	if p == nil {
+		return true
+	}
+	e, ok := p.joins[client]
+	return !ok || epoch >= e
+}
+
+// JoinSchedule returns a copy of the client → join-epoch map — the
+// membership manifest's view of the plan's arrival process.
+func (p *Plan) JoinSchedule() map[int]int {
+	out := map[int]int{}
+	if p == nil {
+		return out
+	}
+	for c, e := range p.joins {
+		out[c] = e
+	}
+	return out
+}
+
+// LeaveSchedule returns a copy of the client → leave-epoch map.
+func (p *Plan) LeaveSchedule() map[int]int {
+	out := map[int]int{}
+	if p == nil {
+		return out
+	}
+	for c, e := range p.leaves {
+		out[c] = e
+	}
+	return out
+}
+
+// Joins returns the number of scheduled arrivals.
+func (p *Plan) Joins() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.joins)
+}
+
+// MaxClient returns the largest client id the plan mentions, or -1 for an
+// empty (or nil) plan. Runtimes use it to size slot arrays so late joiners
+// scheduled by the plan always have a slot.
+func (p *Plan) MaxClient() int {
+	max := -1
+	if p == nil {
+		return max
+	}
+	for c := range p.crashes {
+		if c > max {
+			max = c
+		}
+	}
+	for c := range p.outages {
+		if c > max {
+			max = c
+		}
+	}
+	for c := range p.joins {
+		if c > max {
+			max = c
+		}
+	}
+	for c := range p.leaves {
+		if c > max {
+			max = c
+		}
+	}
+	for c := range p.midCrashes {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,102 @@
+package faults
+
+import "testing"
+
+func TestPlanJoinLeaveSemantics(t *testing.T) {
+	p := NewPlan(1).JoinAt(6, 4).LeaveAt(2, 7)
+	if p.ActiveAt(6, 0) || p.ActiveAt(6, 3) || !p.ActiveAt(6, 4) || !p.ActiveAt(6, 100) {
+		t.Fatal("join semantics wrong: client must be down before its join epoch")
+	}
+	if !p.ActiveAt(2, 6) || p.ActiveAt(2, 7) || p.ActiveAt(2, 100) {
+		t.Fatal("leave semantics wrong: client must be down from its leave epoch")
+	}
+	if !p.Mentions(6) || !p.Mentions(2) || p.Mentions(0) {
+		t.Fatal("Mentions must cover joins and leaves")
+	}
+	if p.PresentAt(6, 3) || !p.PresentAt(6, 4) || !p.PresentAt(2, 100) {
+		t.Fatal("PresentAt wrong: only pre-join clients are absent")
+	}
+	if e, ok := p.JoinEpoch(6); !ok || e != 4 {
+		t.Fatalf("JoinEpoch = %d,%v want 4,true", e, ok)
+	}
+	if e, ok := p.LeaveEpoch(2); !ok || e != 7 {
+		t.Fatalf("LeaveEpoch = %d,%v want 7,true", e, ok)
+	}
+	var nilPlan *Plan
+	if !nilPlan.PresentAt(0, 0) || nilPlan.Joins() != 0 || nilPlan.MaxClient() != -1 {
+		t.Fatal("nil plan must schedule no membership events")
+	}
+}
+
+func TestPlanMidEpochCrash(t *testing.T) {
+	p := NewPlan(2).CrashMidEpoch(3, 5, 2)
+	e, b, ok := p.MidEpochCrash(3)
+	if !ok || e != 5 || b != 2 {
+		t.Fatalf("MidEpochCrash = %d,%d,%v want 5,2,true", e, b, ok)
+	}
+	// The client starts the interrupted epoch but is gone afterwards.
+	if !p.ActiveAt(3, 5) || p.ActiveAt(3, 6) {
+		t.Fatal("mid-epoch crash must leave the client up for the interrupted epoch only")
+	}
+	if !p.Mentions(3) {
+		t.Fatal("Mentions must cover mid-epoch crashes")
+	}
+	if _, _, ok := p.MidEpochCrash(0); ok {
+		t.Fatal("unmentioned client must have no mid-epoch crash")
+	}
+}
+
+func TestArrivalsDeterministicAndBounded(t *testing.T) {
+	const n = 5000 // thousands of joins — the churn-rate scale the runtime must replay
+	a := NewPlan(9).Arrivals(8, n, 2, 10)
+	b := NewPlan(9).Arrivals(8, n, 2, 10)
+	if a.Joins() != n || b.Joins() != n {
+		t.Fatalf("joins = %d,%d want %d", a.Joins(), b.Joins(), n)
+	}
+	for c := 8; c < 8+n; c++ {
+		ea, oka := a.JoinEpoch(c)
+		eb, okb := b.JoinEpoch(c)
+		if !oka || !okb || ea != eb {
+			t.Fatalf("client %d: arrival not deterministic (%d vs %d)", c, ea, eb)
+		}
+		if ea < 2 || ea >= 10 {
+			t.Fatalf("client %d: join epoch %d outside [2,10)", c, ea)
+		}
+	}
+	// A different seed must produce a different schedule.
+	other := NewPlan(10).Arrivals(8, n, 2, 10)
+	same := 0
+	for c := 8; c < 8+n; c++ {
+		ea, _ := a.JoinEpoch(c)
+		eo, _ := other.JoinEpoch(c)
+		if ea == eo {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical arrival schedules")
+	}
+	if a.MaxClient() != 8+n-1 {
+		t.Fatalf("MaxClient = %d want %d", a.MaxClient(), 8+n-1)
+	}
+}
+
+func TestNodeFaultsLeaveProjection(t *testing.T) {
+	p := NewPlan(4).LeaveAt(2, 3).CrashAt(5, 1).LeaveAt(5, 1)
+	nf := p.NodeFaults(2, 8)
+	if nf == nil || nf.LeaveAfterEpochs != 3 {
+		t.Fatalf("leave projection: %+v", nf)
+	}
+	if nf.LeaveDue(2) || !nf.LeaveDue(3) {
+		t.Fatal("LeaveDue threshold wrong")
+	}
+	// A crash at the same point wins: no polite state hand-off.
+	nf5 := p.NodeFaults(5, 8)
+	if nf5 == nil || nf5.LeaveDue(1) || !nf5.CrashDue(1) {
+		t.Fatalf("crash must win over leave: %+v", nf5)
+	}
+	var none *NodeFaults
+	if none.LeaveDue(100) {
+		t.Fatal("nil NodeFaults must be inert")
+	}
+}

@@ -39,22 +39,28 @@ type Plan struct {
 	// reproduce the exact fault pattern.
 	Seed int64
 
-	crashes map[int]int      // client → first dead epoch
-	outages map[int][]window // client → transient offline windows
-	slow    map[int]float64  // client → compute slow-down factor (≥ 1)
-	severed map[[2]int]int   // unordered pair → first severed epoch
-	wire    map[[2]int]LinkBehavior
+	crashes    map[int]int      // client → first dead epoch
+	outages    map[int][]window // client → transient offline windows
+	slow       map[int]float64  // client → compute slow-down factor (≥ 1)
+	severed    map[[2]int]int   // unordered pair → first severed epoch
+	wire       map[[2]int]LinkBehavior
+	joins      map[int]int      // client → first epoch it exists (late arrival)
+	leaves     map[int]int      // client → first epoch after a graceful leave
+	midCrashes map[int]midCrash // client → mid-epoch crash point
 }
 
 // NewPlan returns an empty plan carrying the given seed.
 func NewPlan(seed int64) *Plan {
 	return &Plan{
-		Seed:    seed,
-		crashes: map[int]int{},
-		outages: map[int][]window{},
-		slow:    map[int]float64{},
-		severed: map[[2]int]int{},
-		wire:    map[[2]int]LinkBehavior{},
+		Seed:       seed,
+		crashes:    map[int]int{},
+		outages:    map[int][]window{},
+		slow:       map[int]float64{},
+		severed:    map[[2]int]int{},
+		wire:       map[[2]int]LinkBehavior{},
+		joins:      map[int]int{},
+		leaves:     map[int]int{},
+		midCrashes: map[int]midCrash{},
 	}
 }
 
@@ -117,16 +123,20 @@ func (p *Plan) FlakyLink(a, b int, lb LinkBehavior) *Plan {
 	return p
 }
 
-// Mentions reports whether the plan schedules any liveness fault (crash or
-// outage) for the client. Consumers use it to leave clients the plan never
-// names untouched, so manual churn composes with planned faults.
+// Mentions reports whether the plan schedules any liveness or membership
+// event (crash, outage, join, leave, or mid-epoch crash) for the client.
+// Consumers use it to leave clients the plan never names untouched, so
+// manual churn composes with planned faults.
 func (p *Plan) Mentions(client int) bool {
 	if p == nil {
 		return false
 	}
 	_, crashed := p.crashes[client]
 	_, out := p.outages[client]
-	return crashed || out
+	_, joined := p.joins[client]
+	_, left := p.leaves[client]
+	_, mid := p.midCrashes[client]
+	return crashed || out || joined || left || mid
 }
 
 // ActiveAt reports whether the client is up at the given epoch under this
@@ -136,6 +146,12 @@ func (p *Plan) ActiveAt(client, epoch int) bool {
 		return true
 	}
 	if e, ok := p.crashes[client]; ok && epoch >= e {
+		return false
+	}
+	if e, ok := p.joins[client]; ok && epoch < e {
+		return false
+	}
+	if e, ok := p.leaves[client]; ok && epoch >= e {
 		return false
 	}
 	for _, w := range p.outages[client] {
@@ -192,8 +208,9 @@ func (p *Plan) String() string {
 	if p == nil {
 		return "faults: none"
 	}
-	return fmt.Sprintf("faults: seed=%d crashes=%d outages=%d stragglers=%d severed=%d flaky=%d",
-		p.Seed, len(p.crashes), len(p.outages), len(p.slow), len(p.severed), len(p.wire))
+	return fmt.Sprintf("faults: seed=%d crashes=%d outages=%d stragglers=%d severed=%d flaky=%d joins=%d leaves=%d midcrashes=%d",
+		p.Seed, len(p.crashes), len(p.outages), len(p.slow), len(p.severed), len(p.wire),
+		len(p.joins), len(p.leaves), len(p.midCrashes))
 }
 
 // NodeFaults is the per-node projection of a Plan consumed by the TCP
@@ -203,6 +220,11 @@ type NodeFaults struct {
 	// CrashAfterEpochs, when > 0, makes the node abort the session (closing
 	// every connection) once it has completed that many local epochs.
 	CrashAfterEpochs int
+	// LeaveAfterEpochs, when > 0, makes the node leave the session
+	// gracefully once it has completed that many local epochs: it migrates
+	// the in-flight TrainState of every model it hosts to the server
+	// (MsgMigrateState) and disconnects, so no training work is lost.
+	LeaveAfterEpochs int
 	// SeveredPeers lists client ids whose C2C link from this node is down:
 	// dialing them fails as if the route were unreachable.
 	SeveredPeers map[int]bool
@@ -222,6 +244,9 @@ func (p *Plan) NodeFaults(id, k int) *NodeFaults {
 	if e, ok := p.crashes[id]; ok && e > 0 {
 		nf.CrashAfterEpochs = e
 	}
+	if e, ok := p.leaves[id]; ok && e > 0 {
+		nf.LeaveAfterEpochs = e
+	}
 	for peer := 0; peer < k; peer++ {
 		if peer != id && p.C2CSevered(id, peer, 0) {
 			nf.SeveredPeers[peer] = true
@@ -234,7 +259,7 @@ func (p *Plan) NodeFaults(id, k int) *NodeFaults {
 			break
 		}
 	}
-	if nf.CrashAfterEpochs == 0 && len(nf.SeveredPeers) == 0 && nf.Wire == nil {
+	if nf.CrashAfterEpochs == 0 && nf.LeaveAfterEpochs == 0 && len(nf.SeveredPeers) == 0 && nf.Wire == nil {
 		return nil
 	}
 	return nf
@@ -250,6 +275,16 @@ func (nf *NodeFaults) PeerDown(peer int) bool {
 // epochsDone local epochs (nil-safe).
 func (nf *NodeFaults) CrashDue(epochsDone int) bool {
 	return nf != nil && nf.CrashAfterEpochs > 0 && epochsDone >= nf.CrashAfterEpochs
+}
+
+// LeaveDue reports whether the node must leave gracefully after completing
+// epochsDone local epochs (nil-safe). A scheduled crash wins over a leave
+// at the same point — a crash is not polite enough to migrate state first.
+func (nf *NodeFaults) LeaveDue(epochsDone int) bool {
+	if nf == nil || nf.LeaveAfterEpochs <= 0 || epochsDone < nf.LeaveAfterEpochs {
+		return false
+	}
+	return !nf.CrashDue(epochsDone)
 }
 
 // Backoff returns the deterministic exponential-backoff-with-jitter delay

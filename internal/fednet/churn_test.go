@@ -1,0 +1,275 @@
+package fednet
+
+import (
+	"errors"
+	"math"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fedmigr/internal/data"
+	"fedmigr/internal/faults"
+	"fedmigr/internal/telemetry"
+	"fedmigr/internal/tensor"
+)
+
+// TestChurnChaosSession is the dynamic-membership integration test: 8
+// clients start a session capped at 10, two more join mid-session and are
+// promoted into the cohort, one client departs gracefully mid-phase —
+// shipping its in-flight TrainState for adoption — and one crashes. The
+// server must finish every round (no round lost), reroute the leaver's
+// state to a live adopter, and account every membership change in both
+// FaultStats and the fednet_* telemetry counters. The test runs under
+// -race in CI and checks for goroutine leaks.
+func TestChurnChaosSession(t *testing.T) {
+	const (
+		k        = 8
+		maxK     = 10
+		rounds   = 3
+		aggEvery = 2
+		tau      = 2
+	)
+	const ioTimeout = 5 * time.Second
+	baseline := runtime.NumGoroutine()
+
+	train, test := data.Synthetic(data.SyntheticConfig{
+		Classes: maxK, Channels: 1, Height: 4, Width: 4,
+		PerClass: 20, TestPer: 10, Noise: 0.6, Seed: 42,
+	})
+	parts := data.PartitionShards(train, maxK, 1, tensor.NewRNG(1))
+	factory := chaosFactory(maxK)
+
+	// Client 3 leaves after 3 local epochs — mid-phase, since τ=2 — and
+	// client 5 crashes at the end of round 0.
+	plan := faults.NewPlan(2).LeaveAt(3, 3).CrashAt(5, 3)
+
+	tel := telemetry.New()
+	srv, err := NewServer(ServerConfig{
+		K: k, MaxClients: maxK, Rounds: rounds, AggEvery: aggEvery, Tau: tau,
+		BatchSize: 8, LR: 0.05, IOTimeout: ioTimeout, Telemetry: tel,
+	}, factory, ringMigrator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Run() }()
+
+	clients := make([]*Client, maxK)
+	errs := make([]error, maxK)
+	var wg sync.WaitGroup
+	start := func(i int) {
+		c, err := NewClient(ClientConfig{
+			ServerAddr: addr, IOTimeout: ioTimeout,
+			DialRetries: 2, RetryBackoff: 5 * time.Millisecond,
+			Faults: plan.NodeFaults(i, maxK),
+		}, parts[i], factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = c.Run()
+		}()
+	}
+	// The initial cohort registers gated, so client i gets id i and the
+	// fault plan hits the intended nodes.
+	for i := 0; i < k; i++ {
+		start(i)
+		deadline := time.Now().Add(ioTimeout)
+		for srv.Alive() < i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("client %d did not register", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Two late joiners dial into the running session, gated on admission so
+	// they take slots 8 and 9 deterministically.
+	for i := k; i < maxK; i++ {
+		start(i)
+		deadline := time.Now().Add(ioTimeout)
+		for srv.Stats().Joins < i-k+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("joiner %d was not admitted", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	srv.Close()
+	for _, c := range clients {
+		c.Close()
+	}
+
+	// No round lost: the session completed every round despite two joins, a
+	// graceful departure and a crash.
+	if got := len(srv.History); got != rounds {
+		t.Fatalf("server finished %d rounds, want %d", got, rounds)
+	}
+	if got := srv.Members(); got != maxK {
+		t.Fatalf("cohort grew to %d members, want %d", got, maxK)
+	}
+
+	for i, err := range errs {
+		switch i {
+		case 3:
+			if err != nil {
+				t.Fatalf("leaver must exit cleanly, got %v", err)
+			}
+			if !clients[3].Left {
+				t.Fatal("leaver did not record its departure")
+			}
+		case 5:
+			if !errors.Is(err, faults.ErrCrashed) {
+				t.Fatalf("client 5 should have crashed by plan, got %v", err)
+			}
+		default:
+			if err != nil {
+				t.Fatalf("client %d: %v", i, err)
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.Joins != 2 {
+		t.Fatalf("joins = %d, want 2: %+v", st.Joins, st)
+	}
+	if st.Leaves != 1 {
+		t.Fatalf("leaves = %d, want 1: %+v", st.Leaves, st)
+	}
+	if st.StateMigrations < 1 {
+		t.Fatalf("no in-flight state was migrated: %+v", st)
+	}
+	if st.DeadClients < 1 {
+		t.Fatalf("the crash was not detected: %+v", st)
+	}
+	// The counters surface through telemetry under the same names.
+	if got := tel.Counter("fednet_joins_total", "role", "server").Value(); got != 2 {
+		t.Fatalf("fednet_joins_total = %d, want 2", got)
+	}
+	if got := tel.Counter("fednet_leaves_total", "role", "server").Value(); got != 1 {
+		t.Fatalf("fednet_leaves_total = %d, want 1", got)
+	}
+	if got := tel.Counter("fednet_state_migrations_total", "role", "server").Value(); got < 1 {
+		t.Fatalf("fednet_state_migrations_total = %d, want >= 1", got)
+	}
+
+	// Someone adopted the leaver's state and resumed its batch plan.
+	adopted := 0
+	for _, c := range clients {
+		adopted += c.Adopted
+	}
+	if adopted < 1 {
+		t.Fatal("no client adopted the departing node's state")
+	}
+	// The joiners were promoted and actually trained.
+	for i := k; i < maxK; i++ {
+		if clients[i].Epochs == 0 {
+			t.Fatalf("joiner %d never trained after promotion", i)
+		}
+	}
+	if acc := evalAccuracy(srv.GlobalModel(), test); math.IsNaN(acc) {
+		t.Fatal("churn session produced a NaN global model")
+	}
+
+	// Everything shut down: goroutine count returns to near baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d vs baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAdmitJoiner exercises the admission state machine directly over an
+// in-memory pipe: a free slot yields Welcome plus a warm model handoff and
+// a queued promotion; a full or sealed session turns the node away with a
+// clean Shutdown.
+func TestAdmitJoiner(t *testing.T) {
+	factory := chaosFactory(2)
+	srv, err := NewServer(ServerConfig{
+		K: 1, MaxClients: 2, IOTimeout: 2 * time.Second,
+	}, factory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.conns = make([]net.Conn, 2)
+	srv.alive = make([]bool, 2)
+	srv.registered = 1
+	srv.warm = []byte{1, 2, 3}
+
+	// Free slot: Welcome then warm GlobalModel, joiner queued.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go srv.admitJoiner(c1, &Message{Type: MsgHello, ListenAddr: "x:1", NumSamples: 4, Dist: []float64{1, 0}})
+	welcome, err := ReadMessage(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welcome.Type != MsgWelcome || welcome.ClientID != 1 || welcome.K != 2 {
+		t.Fatalf("admission welcome wrong: %+v", welcome)
+	}
+	warm, err := ReadMessage(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Type != MsgGlobalModel || !warm.Warm || len(warm.Params) != 3 {
+		t.Fatalf("warm handoff wrong: %+v", warm)
+	}
+	srv.mu.Lock()
+	pend, reg, joins := len(srv.pending), srv.registered, srv.fstats.Joins
+	srv.mu.Unlock()
+	if pend != 1 || reg != 2 || joins != 1 {
+		t.Fatalf("pending=%d registered=%d joins=%d after admission", pend, reg, joins)
+	}
+
+	// Full session: clean Shutdown, nothing queued.
+	f1, f2 := net.Pipe()
+	defer f2.Close()
+	go srv.admitJoiner(f1, &Message{Type: MsgHello})
+	rej, err := ReadMessage(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.Type != MsgShutdown {
+		t.Fatalf("full session must reject with Shutdown, got %v", rej.Type)
+	}
+
+	// Sealed session: same clean rejection even with a free slot.
+	srv.mu.Lock()
+	srv.registered = 1
+	srv.sealed = true
+	srv.mu.Unlock()
+	g1, g2 := net.Pipe()
+	defer g2.Close()
+	go srv.admitJoiner(g1, &Message{Type: MsgHello})
+	rej2, err := ReadMessage(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej2.Type != MsgShutdown {
+		t.Fatalf("sealed session must reject with Shutdown, got %v", rej2.Type)
+	}
+	srv.mu.Lock()
+	if len(srv.pending) != 1 || srv.fstats.Joins != 1 {
+		srv.mu.Unlock()
+		t.Fatal("rejections must not queue joiners or count joins")
+	}
+	srv.mu.Unlock()
+}

@@ -117,6 +117,12 @@ type Client struct {
 	// DroppedUploads counts aggregation uploads abandoned because the
 	// client's edge aggregator was unreachable (instrumentation).
 	DroppedUploads int
+	// Left reports that this client departed gracefully by plan, shipping
+	// its in-flight training state to the server (instrumentation).
+	Left bool
+	// Adopted counts TrainState blobs this client adopted from departing
+	// peers and resumed locally (instrumentation).
+	Adopted int
 }
 
 // NewClient builds a node around its local dataset and the shared model
@@ -286,31 +292,65 @@ func (c *Client) Run() error {
 	c.batch = welcome.BatchSize
 	c.lr = welcome.LR
 
+	// A late joiner that just installed its warm handoff may wait far
+	// longer than one frame timeout for the next distribution, so the read
+	// after a warm frame runs without a deadline.
+	warmWait := false
 	for {
-		setDeadline(conn, c.cfg.IOTimeout)
+		if warmWait {
+			clearDeadline(conn)
+		} else {
+			setDeadline(conn, c.cfg.IOTimeout)
+		}
 		m, err := c.nm.read(conn)
 		if err != nil {
 			return err
 		}
+		warmWait = false
+		var herr error
 		switch m.Type {
 		case MsgGlobalModel:
-			if err := c.onGlobalModel(m); err != nil {
-				return err
+			if m.Warm {
+				herr = c.installWarm(m)
+				warmWait = herr == nil
+			} else {
+				herr = c.onGlobalModel(m)
 			}
 		case MsgMigrationOrder:
-			if err := c.onMigration(m); err != nil {
-				return err
-			}
+			herr = c.onMigration(m)
 		case MsgAggregateOrder:
-			if err := c.onAggregate(m); err != nil {
-				return err
-			}
+			herr = c.onAggregate(m)
+		case MsgMigrateState:
+			herr = c.onAdopt(m)
 		case MsgShutdown:
 			return nil
 		default:
 			return fmt.Errorf("fednet: client %d: unexpected %v", c.id, m.Type)
 		}
+		if errors.Is(herr, faults.ErrLeft) {
+			// Graceful departure: the in-flight state is already on its way
+			// to an adopter; the session ends cleanly for this node.
+			return nil
+		}
+		if herr != nil {
+			return herr
+		}
 	}
+}
+
+// installWarm installs a warm-handoff global model: the late joiner starts
+// from live weights but neither trains nor signals until the server
+// promotes it at the next distribution.
+func (c *Client) installWarm(m *Message) error {
+	model := c.factory()
+	if err := model.UnmarshalParams(m.Params); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.hosted = map[int]*nn.Sequential{m.ModelID: model}
+	c.opts = map[int]*nn.SGD{m.ModelID: nn.NewSGD(c.lr)}
+	c.mu.Unlock()
+	return nil
 }
 
 // onGlobalModel installs the fresh global model as this client's home
@@ -329,26 +369,52 @@ func (c *Client) onGlobalModel(m *Message) error {
 
 // localUpdateAndSignal trains every hosted model for τ epochs and sends
 // the completion signal. A node whose fault plan says it crashes here
-// tears itself down instead, simulating a device dropping out mid-round.
+// tears itself down instead, simulating a device dropping out mid-round; a
+// node whose plan says it leaves departs gracefully, shipping its
+// in-flight training state to the server for adoption.
 func (c *Client) localUpdateAndSignal() error {
-	loss := c.trainHosted()
+	loss, remaining := c.trainHosted()
 	if c.cfg.Faults.CrashDue(c.Epochs) {
 		c.Close()
 		return fmt.Errorf("fednet: client %d after %d epochs: %w", c.id, c.Epochs, faults.ErrCrashed)
+	}
+	if remaining >= 0 {
+		return c.leave(loss, remaining)
 	}
 	setDeadline(c.conn, c.cfg.IOTimeout)
 	return c.nm.write(c.conn, &Message{Type: MsgCompletion, Loss: loss})
 }
 
-// trainHosted runs τ epochs of mini-batch SGD for every hosted model and
-// returns the mean batch loss.
-func (c *Client) trainHosted() float64 {
+// hostedIDs returns the hosted model ids in ascending order. The caller
+// must hold mu.
+func (c *Client) hostedIDs() []int {
+	ids := make([]int, 0, len(c.hosted))
+	for id := range c.hosted {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// trainHosted runs τ epoch sweeps of mini-batch SGD over every hosted
+// model and returns the mean batch loss. The second result is -1 for a
+// full phase, or — when the fault plan's departure point fell inside the
+// phase — the number of epoch sweeps left unrun, which the leave path
+// converts into the migrated batch plan.
+func (c *Client) trainHosted() (float64, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ids := c.hostedIDs()
 	lossSum, n := 0.0, 0
-	for id, model := range c.hosted {
-		opt := c.opts[id]
-		for e := 0; e < c.tau; e++ {
+	avg := func() float64 {
+		if n == 0 {
+			return 0
+		}
+		return lossSum / float64(n)
+	}
+	for e := 0; e < c.tau; e++ {
+		for _, id := range ids {
+			model, opt := c.hosted[id], c.opts[id]
 			for lo := 0; lo < c.dataset.Len(); lo += c.batch {
 				hi := lo + c.batch
 				if hi > c.dataset.Len() {
@@ -365,11 +431,107 @@ func (c *Client) trainHosted() float64 {
 			}
 			c.Epochs++
 		}
+		if c.cfg.Faults.LeaveDue(c.Epochs) {
+			return avg(), c.tau - (e + 1)
+		}
 	}
-	if n == 0 {
-		return 0
+	return avg(), -1
+}
+
+// leave is the graceful-departure half of live migration: the client
+// captures each hosted replica's in-flight TrainState — parameters,
+// optimizer momentum, and the batch plan for the phase's remaining epoch
+// sweeps — ships the blobs to the server in place of its completion
+// signal, and exits the session cleanly.
+func (c *Client) leave(loss float64, remaining int) error {
+	states, err := c.captureStates(remaining)
+	if err != nil {
+		return err
 	}
-	return lossSum / float64(n)
+	setDeadline(c.conn, c.cfg.IOTimeout)
+	if err := c.nm.write(c.conn, &Message{
+		Type: MsgMigrateState, Epoch: c.Epochs, Loss: loss, States: states,
+	}); err != nil {
+		return err
+	}
+	c.Left = true
+	c.nm.incLeave()
+	return fmt.Errorf("fednet: client %d departing after %d epochs: %w", c.id, c.Epochs, faults.ErrLeft)
+}
+
+// captureStates snapshots every hosted replica into a versioned TrainState
+// blob. The batch plan is the phase's remaining epoch sweeps concatenated
+// (batch index order, cursor 0), so the adopter resumes exactly the work
+// this node left unrun.
+func (c *Client) captureStates(remaining int) ([]StateBlob, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nb := (c.dataset.Len() + c.batch - 1) / c.batch
+	order := make([]int, 0, remaining*nb)
+	for r := 0; r < remaining; r++ {
+		for b := 0; b < nb; b++ {
+			order = append(order, b)
+		}
+	}
+	var states []StateBlob
+	for _, id := range c.hostedIDs() {
+		ts := core.CaptureTrainState(id, c.Epochs, 0, order, 0, 0, c.hosted[id], c.opts[id])
+		blob, err := ts.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, StateBlob{ModelID: id, Blob: blob})
+	}
+	return states, nil
+}
+
+// onAdopt installs migrated TrainStates from a departed peer and finishes
+// their remaining batch plan on this client's own shard — the documented
+// divergence from the simulator's bit-exact rescue, where the resumed
+// batches still come from the victim's data: a real adopter only has its
+// local data (data locality), so the remaining batch indices are replayed
+// against this node's shard instead.
+func (c *Client) onAdopt(m *Message) error {
+	for _, sb := range m.States {
+		ts, err := core.UnmarshalTrainState(sb.Blob)
+		if err != nil {
+			return fmt.Errorf("fednet: client %d adopting model %d: %w", c.id, sb.ModelID, err)
+		}
+		model := c.factory()
+		opt := nn.NewSGD(c.lr)
+		if err := ts.Restore(model, opt); err != nil {
+			return fmt.Errorf("fednet: client %d adopting model %d: %w", c.id, sb.ModelID, err)
+		}
+		c.resumeBatches(model, opt, ts.Order[ts.BatchCursor:])
+		c.mu.Lock()
+		c.hosted[ts.ModelID] = model
+		c.opts[ts.ModelID] = opt
+		c.mu.Unlock()
+		c.Adopted++
+		c.nm.incStateMigration()
+	}
+	return nil
+}
+
+// resumeBatches replays a migrated batch plan over this client's shard.
+// Indices past the local shard (the leaver's was larger) are skipped.
+func (c *Client) resumeBatches(model *nn.Sequential, opt *nn.SGD, order []int) {
+	for _, b := range order {
+		lo := b * c.batch
+		if lo < 0 || lo >= c.dataset.Len() {
+			continue
+		}
+		hi := lo + c.batch
+		if hi > c.dataset.Len() {
+			hi = c.dataset.Len()
+		}
+		x, y := c.dataset.Batch(lo, hi)
+		model.ZeroGrad()
+		out := model.Forward(x, true)
+		_, grad := nn.CrossEntropy(out, y)
+		model.Backward(grad)
+		opt.Step(model)
+	}
 }
 
 // receiveInbound accepts up to `want` peer transfers, bounded overall by

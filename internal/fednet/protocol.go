@@ -63,11 +63,17 @@ const (
 	// MsgPartialSum carries an aggregator's drained reduction-tree nodes
 	// upstream — O(fan-in) uploads compressed into O(log K) partial sums.
 	MsgPartialSum
+	// MsgMigrateState carries in-flight TrainState blobs: a gracefully
+	// leaving client sends it to the server in place of its completion
+	// signal, and the server reroutes the blobs to an adopting live client,
+	// so a departure mid-round loses no training work (FedFly-style live
+	// migration).
+	MsgMigrateState
 )
 
 // msgTypeMax is the highest defined frame type; telemetry tables are sized
 // by it so adding a frame type cannot silently fall outside the counters.
-const msgTypeMax = MsgPartialSum
+const msgTypeMax = MsgMigrateState
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
@@ -78,7 +84,7 @@ func (t MsgType) String() string {
 		MsgAggregateOrder: "AggregateOrder", MsgLocalUpdate: "LocalUpdate",
 		MsgShutdown: "Shutdown", MsgAggHello: "AggHello",
 		MsgAggWelcome: "AggWelcome", MsgAggRound: "AggRound",
-		MsgPartialSum: "PartialSum",
+		MsgPartialSum: "PartialSum", MsgMigrateState: "MigrateState",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -95,6 +101,13 @@ type AggNode struct {
 	Start, Level, Count int
 	Weight              float64
 	Vec                 []float64
+}
+
+// StateBlob pairs a model id with its serialized core.TrainState — the
+// payload unit of MsgMigrateState.
+type StateBlob struct {
+	ModelID int
+	Blob    []byte
 }
 
 // Order is one outbound migration instruction.
@@ -148,6 +161,14 @@ type Message struct {
 	ModelID int
 	Weight  float64
 	Params  []byte
+	// Warm marks a GlobalModel frame as a warm handoff to a late joiner:
+	// the client installs the parameters but neither trains nor signals —
+	// it participates from the next distribution.
+	Warm bool
+	// States carries in-flight TrainState blobs (MsgMigrateState): a
+	// leaving client hands its hosted models' states to the server, which
+	// reroutes them to an adopter.
+	States []StateBlob
 	// EffDist carries the model's effective label mixture so the server's
 	// policy state stays current after C2C moves.
 	EffDist []float64
@@ -292,3 +313,8 @@ func setDeadline(c net.Conn, d time.Duration) {
 		_ = c.SetDeadline(time.Now().Add(d))
 	}
 }
+
+// clearDeadline removes any pending deadline: a late joiner that received
+// its warm handoff mid-round may wait much longer than one frame timeout
+// for the next distribution.
+func clearDeadline(c net.Conn) { _ = c.SetDeadline(time.Time{}) }

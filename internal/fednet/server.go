@@ -24,6 +24,13 @@ type ServerConfig struct {
 	JobID string
 	// K is the number of clients to wait for.
 	K int
+	// MaxClients caps the session's membership, K initial registrations
+	// plus up to MaxClients-K mid-session joiners: once the session is
+	// running, a late Hello is admitted into the next free slot, handed a
+	// warm copy of the current global model, and enters the cohort at the
+	// next round's distribution. MaxClients ≤ K (the default) runs a
+	// closed-membership session that rejects extra registrations.
+	MaxClients int
 	// Rounds is G, the number of global iterations.
 	Rounds int
 	// AggEvery, Tau, BatchSize, LR are forwarded to clients in Welcome.
@@ -90,6 +97,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxConcurrentUploads <= 0 {
 		c.MaxConcurrentUploads = 16
 	}
+	if c.MaxClients < c.K {
+		c.MaxClients = c.K
+	}
 	return c
 }
 
@@ -104,9 +114,17 @@ type FaultStats struct {
 	// LostModels counts replicas lost in transit (neither the sender kept
 	// them nor the receiver confirmed them).
 	LostModels int
-	// PartialRounds counts aggregations that completed with fewer than K
-	// model uploads, renormalizing weights over the survivors.
+	// PartialRounds counts aggregations that completed with fewer model
+	// uploads than expected, renormalizing weights over the survivors.
 	PartialRounds int
+	// Joins counts mid-session registrations admitted into the cohort.
+	Joins int
+	// Leaves counts graceful departures (a client that shipped its
+	// in-flight state and exited, as opposed to a crash).
+	Leaves int
+	// StateMigrations counts in-flight TrainState blobs rerouted from a
+	// departing client to a live adopter.
+	StateMigrations int
 }
 
 // Server is the FedMigr parameter server: it registers K clients, drives
@@ -123,6 +141,9 @@ type Server struct {
 	ln       net.Listener
 	nm       *netMetrics
 
+	// Slot arrays are sized maxK up front so late joiners never reallocate
+	// them under a running round. Ids < members are in play; the rest are
+	// free slots for future joiners.
 	conns   []net.Conn
 	addrs   []string
 	weights []float64
@@ -139,6 +160,23 @@ type Server struct {
 	alive  []bool
 	closed bool
 	fstats FaultStats
+
+	// Dynamic membership (cfg.MaxClients > K). maxK is the slot-array
+	// capacity; members is the number of slots in play, grown only at round
+	// boundaries when pending joiners are promoted. acceptLate admits a
+	// mid-session Hello under mu — assigning the next free id, stashing the
+	// conn, and queueing a pendingJoin — but touches no per-round array:
+	// those are written by the coordinator in promoteJoiners, so a running
+	// round never races an arriving node. warm is the current global
+	// model's serialized parameters, refreshed at each distribution, handed
+	// to joiners so they start from live weights. sealed rejects joins that
+	// arrive after the session's shutdown began.
+	maxK       int
+	members    int
+	registered int
+	pending    []pendingJoin
+	warm       []byte
+	sealed     bool
 
 	// lost[m] marks a replica unusable for the current round: its host
 	// died or it vanished in transit. Reset at every distribution.
@@ -174,8 +212,18 @@ func NewServer(cfg ServerConfig, factory core.ModelFactory, migrator core.Migrat
 	}
 	return &Server{
 		cfg: cfg, factory: factory, global: factory(), migrator: migrator,
+		maxK: cfg.MaxClients, members: cfg.K,
 		nm: newNetMetrics(cfg.Telemetry, "server"),
 	}, nil
+}
+
+// pendingJoin is a mid-session registration awaiting promotion: the
+// joiner's Hello payload, parked until the next round boundary.
+type pendingJoin struct {
+	id      int
+	addr    string
+	samples int
+	dist    []float64
 }
 
 // Listen binds the server to addr (use "127.0.0.1:0" for an ephemeral
@@ -300,7 +348,27 @@ func (s *Server) markDead(id int, cause error) {
 // quorumErr reports the unrecoverable loss of too many clients.
 func (s *Server) quorumErr(phase string) error {
 	return fmt.Errorf("fednet: %s: %d of %d clients alive, quorum is %d",
-		phase, s.aliveCount(), s.cfg.K, s.cfg.MinClients)
+		phase, s.aliveCount(), s.Members(), s.cfg.MinClients)
+}
+
+// Members returns the number of client slots in play (initial K plus every
+// promoted joiner); departed members still count until the session ends.
+func (s *Server) Members() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.members
+}
+
+// liveConn returns the connection of a live client, or nil when the client
+// is dead, departed, or not yet promoted. Reading it under mu pairs with
+// acceptLate's slot writes, so round loops never race an arriving joiner.
+func (s *Server) liveConn(id int) net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.alive[id] {
+		return nil
+	}
+	return s.conns[id]
 }
 
 // accept registers the K clients and, when the session is hierarchical,
@@ -308,21 +376,22 @@ func (s *Server) quorumErr(phase string) error {
 // (Hello vs AggHello) so arrival order is free; ids are assigned in
 // per-role arrival order.
 func (s *Server) accept() error {
-	k, a := s.cfg.K, s.cfg.Aggregators
+	k, a, maxK := s.cfg.K, s.cfg.Aggregators, s.maxK
 	s.mu.Lock()
-	s.conns = make([]net.Conn, k)
-	s.alive = make([]bool, k)
+	s.conns = make([]net.Conn, maxK)
+	s.alive = make([]bool, maxK)
+	s.registered = k
 	s.aggConns = make([]net.Conn, a)
 	s.aggAlive = make([]bool, a)
 	s.mu.Unlock()
 	s.aggAddrs = make([]string, a)
-	s.addrs = make([]string, k)
-	s.weights = make([]float64, k)
-	s.clientDist = make([]stats.Distribution, k)
-	s.effDist = make([]stats.Distribution, k)
-	s.effSeen = make([]float64, k)
-	s.loc = make([]int, k)
-	s.lost = make([]bool, k)
+	s.addrs = make([]string, maxK)
+	s.weights = make([]float64, maxK)
+	s.clientDist = make([]stats.Distribution, maxK)
+	s.effDist = make([]stats.Distribution, maxK)
+	s.effSeen = make([]float64, maxK)
+	s.loc = make([]int, maxK)
+	s.lost = make([]bool, maxK)
 	clients, aggs := 0, 0
 	for clients < k || aggs < a {
 		conn, err := s.ln.Accept()
@@ -347,6 +416,13 @@ func (s *Server) accept() error {
 		switch hello.Type {
 		case MsgHello:
 			if clients == k {
+				if maxK > k {
+					// An early joiner raced the initial cohort: admit it
+					// through the mid-session path; it is promoted at the
+					// next round boundary.
+					s.admitJoiner(conn, hello)
+					continue
+				}
 				return fmt.Errorf("fednet: accept: more than %d clients", k)
 			}
 			id := clients
@@ -362,7 +438,7 @@ func (s *Server) accept() error {
 			s.effSeen[id] = float64(hello.NumSamples)
 			s.loc[id] = id
 			if err := s.nm.write(conn, &Message{
-				Type: MsgWelcome, ClientID: id, K: k, JobID: s.cfg.JobID,
+				Type: MsgWelcome, ClientID: id, K: maxK, JobID: s.cfg.JobID,
 				Rounds: s.cfg.Rounds, AggEvery: s.cfg.AggEvery, Tau: s.cfg.Tau,
 				BatchSize: s.cfg.BatchSize, LR: s.cfg.LR,
 			}); err != nil {
@@ -379,8 +455,10 @@ func (s *Server) accept() error {
 			s.aggAlive[aid] = true
 			s.mu.Unlock()
 			s.aggAddrs[aid] = hello.ListenAddr
+			// Aggregator reduction trees are sized by K: hand them maxK so
+			// model ids of late joiners still land inside their slots.
 			if err := s.nm.write(conn, &Message{
-				Type: MsgAggWelcome, AggID: aid, K: k, JobID: s.cfg.JobID,
+				Type: MsgAggWelcome, AggID: aid, K: maxK, JobID: s.cfg.JobID,
 			}); err != nil {
 				return err
 			}
@@ -391,10 +469,209 @@ func (s *Server) accept() error {
 	return nil
 }
 
+// acceptLate keeps admitting mid-session registrations until the listener
+// closes at session end. Admissions are sequential, so joiner ids follow
+// arrival order deterministically.
+func (s *Server) acceptLate() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		setDeadline(conn, s.cfg.IOTimeout)
+		hello, err := s.nm.read(conn)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		if hello.Type != MsgHello || hello.JobID != s.cfg.JobID {
+			if hello.Type == MsgHello {
+				s.nm.incJobMismatch()
+				s.cfg.Telemetry.Event("job_mismatch", "got", hello.JobID, "want", s.cfg.JobID)
+			}
+			_ = s.nm.write(conn, &Message{Type: MsgShutdown, JobID: s.cfg.JobID})
+			_ = conn.Close()
+			continue
+		}
+		s.admitJoiner(conn, hello)
+	}
+}
+
+// admitJoiner registers one mid-session Hello: the joiner takes the next
+// free slot, gets its Welcome plus a warm copy of the current global model,
+// and is queued for promotion into the cohort at the next round boundary.
+// A full (or shutting-down) session turns the node away with a Shutdown.
+func (s *Server) admitJoiner(conn net.Conn, hello *Message) {
+	s.mu.Lock()
+	if s.sealed || s.registered >= s.maxK {
+		s.mu.Unlock()
+		_ = s.nm.write(conn, &Message{Type: MsgShutdown, JobID: s.cfg.JobID})
+		_ = conn.Close()
+		s.cfg.Telemetry.Event("join_rejected", "addr", hello.ListenAddr)
+		return
+	}
+	id := s.registered
+	s.registered++
+	s.conns[id] = conn
+	s.pending = append(s.pending, pendingJoin{
+		id: id, addr: hello.ListenAddr, samples: hello.NumSamples,
+		dist: append([]float64(nil), hello.Dist...),
+	})
+	s.fstats.Joins++
+	warm := s.warm
+	s.mu.Unlock()
+	s.nm.incJoin()
+	s.cfg.Telemetry.Event("client_joined", "client", id)
+	setDeadline(conn, s.cfg.IOTimeout)
+	if err := s.nm.write(conn, &Message{
+		Type: MsgWelcome, ClientID: id, K: s.maxK, JobID: s.cfg.JobID,
+		Rounds: s.cfg.Rounds, AggEvery: s.cfg.AggEvery, Tau: s.cfg.Tau,
+		BatchSize: s.cfg.BatchSize, LR: s.cfg.LR,
+	}); err != nil {
+		// Dead on arrival: promotion will mark it dead at first broadcast.
+		return
+	}
+	_ = s.nm.write(conn, &Message{Type: MsgGlobalModel, ModelID: id, Params: warm, Warm: true})
+}
+
+// promoteJoiners moves every pending joiner into the cohort: its Hello
+// payload lands in the per-round arrays and the slot goes live, all on the
+// coordinator at a round boundary so no running phase observes a partial
+// member.
+func (s *Server) promoteJoiners() {
+	s.mu.Lock()
+	pend := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, j := range pend {
+		s.addrs[j.id] = j.addr
+		s.weights[j.id] = float64(j.samples)
+		s.clientDist[j.id] = stats.Distribution(j.dist)
+		s.effDist[j.id] = stats.Distribution(append([]float64(nil), j.dist...))
+		s.effSeen[j.id] = float64(j.samples)
+		s.loc[j.id] = j.id
+		s.mu.Lock()
+		s.alive[j.id] = true
+		if j.id >= s.members {
+			s.members = j.id + 1
+		}
+		s.mu.Unlock()
+		s.cfg.Telemetry.Event("client_promoted", "client", j.id, "epoch", s.epoch)
+	}
+}
+
+// markLeft records a graceful departure: the client already shipped its
+// in-flight state, so it leaves the cohort without counting as dead.
+// Idempotent per client.
+func (s *Server) markLeft(id int) {
+	s.mu.Lock()
+	if !s.alive[id] {
+		s.mu.Unlock()
+		return
+	}
+	s.alive[id] = false
+	s.fstats.Leaves++
+	conn := s.conns[id]
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	s.nm.incLeave()
+	s.cfg.Telemetry.Event("client_left", "client", id, "epoch", s.epoch)
+}
+
+// adoptOrphans reroutes each departing client's in-flight TrainStates to a
+// live adopter, which resumes the remaining batch plan on its own shard.
+// It runs before the round's next order frame, so TCP ordering guarantees
+// the adopter processes the handoff first and the turn-based protocol
+// stays in lockstep. States with no live adopter are lost for the round.
+func (s *Server) adoptOrphans(comps []*Message) {
+	for id, m := range comps {
+		if m == nil || m.Type != MsgMigrateState {
+			continue
+		}
+		s.adoptFrom(id, m.States)
+	}
+}
+
+// adoptFrom finds the lowest-id live client and hands it a leaver's state
+// blobs; an adopter that dies on the write is marked dead and the next
+// candidate tried.
+func (s *Server) adoptFrom(leaver int, states []StateBlob) {
+	if len(states) == 0 {
+		return
+	}
+	for {
+		adopter, conn := -1, net.Conn(nil)
+		for c := 0; c < s.members; c++ {
+			if c == leaver {
+				continue
+			}
+			if conn = s.liveConn(c); conn != nil {
+				adopter = c
+				break
+			}
+		}
+		if adopter < 0 {
+			for _, sb := range states {
+				if sb.ModelID >= 0 && sb.ModelID < len(s.lost) {
+					s.lost[sb.ModelID] = true
+				}
+				s.mu.Lock()
+				s.fstats.LostModels++
+				s.mu.Unlock()
+				s.nm.incLostModel()
+				s.cfg.Telemetry.Event("model_lost", "model", sb.ModelID, "from", leaver, "epoch", s.epoch)
+			}
+			return
+		}
+		setDeadline(conn, s.cfg.IOTimeout)
+		if err := s.nm.write(conn, &Message{Type: MsgMigrateState, Epoch: s.epoch, States: states}); err != nil {
+			s.markDead(adopter, err)
+			continue
+		}
+		for _, sb := range states {
+			if sb.ModelID >= 0 && sb.ModelID < len(s.loc) {
+				s.loc[sb.ModelID] = adopter
+			}
+			s.mu.Lock()
+			s.fstats.StateMigrations++
+			s.mu.Unlock()
+			s.nm.incStateMigration()
+			s.cfg.Telemetry.Event("state_migration", "model", sb.ModelID, "from", leaver, "to", adopter, "epoch", s.epoch)
+		}
+		return
+	}
+}
+
+// shutdownPending seals the session against further joins and dismisses
+// joiners that were admitted but never promoted (they arrived during the
+// final round).
+func (s *Server) shutdownPending() {
+	s.mu.Lock()
+	s.sealed = true
+	pend := s.pending
+	s.pending = nil
+	conns := make([]net.Conn, 0, len(pend))
+	for _, j := range pend {
+		conns = append(conns, s.conns[j.id])
+	}
+	s.mu.Unlock()
+	for _, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		setDeadline(conn, s.cfg.IOTimeout)
+		_ = s.nm.write(conn, &Message{Type: MsgShutdown, JobID: s.cfg.JobID})
+		_ = conn.Close()
+	}
+}
+
 // aggOf maps a client to its edge aggregator: contiguous blocks, the same
-// partition edgenet.Topology.AggregatorGroup uses in the simulator.
+// partition edgenet.Topology.AggregatorGroup uses in the simulator. The
+// denominator is maxK so joiner ids map inside [0, A).
 func (s *Server) aggOf(client int) int {
-	return client * s.cfg.Aggregators / s.cfg.K
+	return client * s.cfg.Aggregators / s.maxK
 }
 
 // aggIsAlive reports aggregator liveness under the lock.
@@ -430,8 +707,10 @@ func (s *Server) markAggDead(aid int, cause error) {
 // broadcast sends one message to every live client; a client that cannot
 // be written to is declared dead rather than failing the phase.
 func (s *Server) broadcast(build func(id int) *Message) error {
-	for id, conn := range s.conns {
-		if !s.isAlive(id) {
+	n := s.members
+	for id := 0; id < n; id++ {
+		conn := s.liveConn(id)
+		if conn == nil {
 			continue
 		}
 		setDeadline(conn, s.cfg.IOTimeout)
@@ -450,10 +729,12 @@ func (s *Server) broadcast(build func(id int) *Message) error {
 // declared dead and their slot left nil; the phase fails only when the
 // quorum is lost.
 func (s *Server) collect(want MsgType) ([]*Message, error) {
-	out := make([]*Message, len(s.conns))
+	out := make([]*Message, s.maxK)
 	var wg sync.WaitGroup
-	for id, conn := range s.conns {
-		if !s.isAlive(id) {
+	n := s.members
+	for id := 0; id < n; id++ {
+		conn := s.liveConn(id)
+		if conn == nil {
 			continue
 		}
 		wg.Add(1)
@@ -475,15 +756,55 @@ func (s *Server) collect(want MsgType) ([]*Message, error) {
 	return out, nil
 }
 
+// collectCompletions reads each live client's end-of-phase frame: a
+// Completion, or a MigrateState from a gracefully departing client whose
+// in-flight states the caller reroutes to an adopter. Both carry the
+// client's reported loss.
+func (s *Server) collectCompletions() ([]*Message, error) {
+	out := make([]*Message, s.maxK)
+	var wg sync.WaitGroup
+	n := s.members
+	for id := 0; id < n; id++ {
+		conn := s.liveConn(id)
+		if conn == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(id int, conn net.Conn) {
+			defer wg.Done()
+			setDeadline(conn, s.cfg.IOTimeout)
+			m, err := s.nm.read(conn)
+			switch {
+			case err != nil:
+				s.markDead(id, err)
+			case m.Type == MsgCompletion:
+				out[id] = m
+			case m.Type == MsgMigrateState:
+				out[id] = m
+				s.markLeft(id)
+			default:
+				s.markDead(id, typeMismatch(m.Type, MsgCompletion))
+			}
+		}(id, conn)
+	}
+	wg.Wait()
+	if s.aliveCount() < s.cfg.MinClients {
+		return nil, s.quorumErr("collect completions")
+	}
+	return out, nil
+}
+
 // usable reports whether replica m participates in the current round: its
 // host must be alive and the replica must not have been lost in transit.
 func (s *Server) usable(m int) bool {
 	return !s.lost[m] && s.isAlive(s.loc[m])
 }
 
-// policyState assembles the core.State the migration policy consumes.
+// policyState assembles the core.State the migration policy consumes. Its
+// dimensions follow the current membership, so the policy sees joiners the
+// round after they are promoted.
 func (s *Server) policyState() *core.State {
-	k := s.cfg.K
+	k := s.members
 	d := make([][]float64, k)
 	cost := make([][]float64, k)
 	active := make([]bool, k)
@@ -500,7 +821,7 @@ func (s *Server) policyState() *core.State {
 		Loss:        s.lastLoss,
 		PrevLoss:    s.prevLoss,
 		D:           d,
-		Locations:   append([]int(nil), s.loc...),
+		Locations:   append([]int(nil), s.loc[:k]...),
 		Active:      active,
 		CostSeconds: cost, // real transfers are timed by the network itself
 	}
@@ -522,17 +843,36 @@ func (s *Server) run() error {
 	if s.ln == nil {
 		return fmt.Errorf("fednet: server not listening")
 	}
+	// The listener closes when the session ends (success or error), so the
+	// late-join accept loop always drains out.
+	defer func() { _ = s.ln.Close() }()
 	if err := s.accept(); err != nil {
 		return err
 	}
-	k := s.cfg.K
+	if s.maxK > s.cfg.K {
+		warm, err := s.global.MarshalParams()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.warm = warm
+		s.mu.Unlock()
+		go s.acceptLate()
+	}
 	for round := 0; round < s.cfg.Rounds; round++ {
+		// Joiners admitted during the previous round enter the cohort here,
+		// at the round boundary, so the whole round sees one membership.
+		s.promoteJoiners()
 		// Model Distribution.
 		params, err := s.global.MarshalParams()
 		if err != nil {
 			return err
 		}
-		for m := 0; m < k; m++ {
+		s.mu.Lock()
+		s.warm = params
+		s.mu.Unlock()
+		n := s.members
+		for m := 0; m < n; m++ {
 			s.loc[m] = m
 			s.lost[m] = !s.isAlive(m)
 			s.effDist[m] = append(stats.Distribution(nil), s.clientDist[m]...)
@@ -545,8 +885,9 @@ func (s *Server) run() error {
 		}
 
 		for event := 0; event < s.cfg.AggEvery; event++ {
-			// Local Updating: wait for completion signals.
-			comps, err := s.collect(MsgCompletion)
+			// Local Updating: wait for completion signals (or graceful
+			// departures carrying in-flight state).
+			comps, err := s.collectCompletions()
 			if err != nil {
 				return err
 			}
@@ -563,6 +904,9 @@ func (s *Server) run() error {
 			}
 			s.epoch += s.cfg.Tau
 			s.foldHostDistributions()
+			// Reroute departed clients' in-flight states before the next
+			// order frame so adopters see the handoff first (TCP ordering).
+			s.adoptOrphans(comps)
 
 			if event < s.cfg.AggEvery-1 {
 				if err := s.migrationEvent(); err != nil {
@@ -587,13 +931,17 @@ func (s *Server) run() error {
 			s.markAggDead(aid, err)
 		}
 	}
-	return s.broadcast(func(int) *Message { return &Message{Type: MsgShutdown} })
+	if err := s.broadcast(func(int) *Message { return &Message{Type: MsgShutdown} }); err != nil {
+		return err
+	}
+	s.shutdownPending()
+	return nil
 }
 
 // foldHostDistributions advances every live model's effective label
 // mixture (Eq. 12's virtual dataset) by the host data it just trained on.
 func (s *Server) foldHostDistributions() {
-	for m := range s.effDist {
+	for m := 0; m < s.members; m++ {
 		if !s.usable(m) {
 			continue
 		}
@@ -620,15 +968,16 @@ func (s *Server) foldHostDistributions() {
 func (s *Server) migrationEvent() error {
 	st := s.policyState()
 	dest := s.migrator.Plan(st)
-	if len(dest) != s.cfg.K {
-		return fmt.Errorf("fednet: policy returned %d destinations for %d models", len(dest), s.cfg.K)
+	k := s.members
+	if len(dest) != k {
+		return fmt.Errorf("fednet: policy returned %d destinations for %d models", len(dest), k)
 	}
 	// Sanitize: stay for invalid endpoints; reroute orders whose
 	// destination is already known dead.
-	src := append([]int(nil), s.loc...)
+	src := append([]int(nil), s.loc[:k]...)
 	for m, d := range dest {
 		switch {
-		case d < 0 || d >= s.cfg.K:
+		case d < 0 || d >= k:
 			dest[m] = src[m]
 		case !s.usable(m):
 			dest[m] = src[m]
@@ -638,8 +987,8 @@ func (s *Server) migrationEvent() error {
 		}
 	}
 	// Per-client outbound orders and inbound counts.
-	orders := make([][]Order, s.cfg.K)
-	inbound := make([]int, s.cfg.K)
+	orders := make([][]Order, k)
+	inbound := make([]int, k)
 	for m, d := range dest {
 		if d == src[m] {
 			continue
@@ -715,11 +1064,12 @@ func (s *Server) recordReroute(m, dst int, cause string) {
 // set of uploads that arrived, independent of arrival order, goroutine
 // scheduling, or how clients are partitioned across edge aggregators.
 func (s *Server) aggregate(round int) error {
-	k := s.cfg.K
-	// Expected uploads per client under the reconciled location map.
-	hosted := make([][]int, k)
+	// Expected uploads per client under the reconciled location map. Slot
+	// arrays (and the accumulator) are sized maxK so joiner model ids fold
+	// at their own slots; only members are walked.
+	hosted := make([][]int, s.maxK)
 	expected := 0
-	for m := 0; m < k; m++ {
+	for m := 0; m < s.members; m++ {
 		if !s.usable(m) {
 			continue
 		}
@@ -729,7 +1079,7 @@ func (s *Server) aggregate(round int) error {
 	if expected == 0 {
 		return fmt.Errorf("fednet: aggregate: no usable replicas remain")
 	}
-	acc := agg.New(k, s.global.NumParams())
+	acc := agg.New(s.maxK, s.global.NumParams())
 	var recv int
 	var err error
 	if s.cfg.Aggregators > 0 {
@@ -744,13 +1094,17 @@ func (s *Server) aggregate(round int) error {
 	if recv == 0 || wsum <= 0 {
 		return fmt.Errorf("fednet: aggregate: all %d expected uploads failed", expected)
 	}
-	if recv < k {
+	// A round is partial when fewer models fold in than the in-play cohort
+	// would produce — whether the shortfall was known up front (dead host,
+	// lost replica) or happened mid-upload. members, not the static K, is
+	// the yardstick once joiners have grown the cohort.
+	if recv < s.members {
 		s.mu.Lock()
 		s.fstats.PartialRounds++
 		s.mu.Unlock()
 		s.nm.incPartialRound()
 		s.cfg.Telemetry.Event("partial_aggregation",
-			"round", round, "received", recv, "expected_k", k, "weight", wsum)
+			"round", round, "received", recv, "expected", expected, "members", s.members, "weight", wsum)
 	}
 	s.global.SetParamVector(acc.Finish(1 / wsum))
 	return nil
@@ -775,16 +1129,16 @@ func (s *Server) collectDirect(round int, hosted [][]int, acc *agg.Accumulator) 
 		wg     sync.WaitGroup
 	)
 	sem := make(chan struct{}, s.cfg.MaxConcurrentUploads)
-	for id := 0; id < s.cfg.K; id++ {
-		if len(hosted[id]) == 0 || !s.isAlive(id) {
+	for id := 0; id < s.members; id++ {
+		conn := s.liveConn(id)
+		if len(hosted[id]) == 0 || conn == nil {
 			continue
 		}
 		wg.Add(1)
-		go func(id int) {
+		go func(id int, conn net.Conn) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			conn := s.conns[id]
 			tmp := s.factory()
 			for range hosted[id] {
 				setDeadline(conn, s.cfg.IOTimeout)
@@ -811,7 +1165,7 @@ func (s *Server) collectDirect(round int, hosted [][]int, acc *agg.Accumulator) 
 				}
 				foldMu.Unlock()
 			}
-		}(id)
+		}(id, conn)
 	}
 	wg.Wait()
 	return recv, nil

@@ -26,6 +26,12 @@ type netMetrics struct {
 	lostModels    *telemetry.Counter
 	partialRounds *telemetry.Counter
 	jobMismatches *telemetry.Counter
+
+	// Churn counters: mid-session registrations, graceful departures, and
+	// in-flight TrainStates rerouted to an adopter.
+	joins           *telemetry.Counter
+	leaves          *telemetry.Counter
+	stateMigrations *telemetry.Counter
 }
 
 // rpcBuckets spans 0.1 ms to ~6.5 s of blocking network time.
@@ -54,6 +60,9 @@ func newNetMetrics(tel *telemetry.Telemetry, role string) *netMetrics {
 	nm.lostModels = tel.Counter("fednet_lost_models_total", "role", role)
 	nm.partialRounds = tel.Counter("fednet_partial_rounds_total", "role", role)
 	nm.jobMismatches = tel.Counter("fednet_job_mismatches_total", "role", role)
+	nm.joins = tel.Counter("fednet_joins_total", "role", role)
+	nm.leaves = tel.Counter("fednet_leaves_total", "role", role)
+	nm.stateMigrations = tel.Counter("fednet_state_migrations_total", "role", role)
 	return nm
 }
 
@@ -98,6 +107,24 @@ func (nm *netMetrics) incLostModel() {
 func (nm *netMetrics) incPartialRound() {
 	if nm != nil {
 		nm.partialRounds.Inc()
+	}
+}
+
+func (nm *netMetrics) incJoin() {
+	if nm != nil {
+		nm.joins.Inc()
+	}
+}
+
+func (nm *netMetrics) incLeave() {
+	if nm != nil {
+		nm.leaves.Inc()
+	}
+}
+
+func (nm *netMetrics) incStateMigration() {
+	if nm != nil {
+		nm.stateMigrations.Inc()
 	}
 }
 

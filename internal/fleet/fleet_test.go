@@ -10,6 +10,7 @@ import (
 	"fedmigr/internal/faults"
 	"fedmigr/internal/nn"
 	"fedmigr/internal/sched"
+	"fedmigr/internal/telemetry"
 	"fedmigr/internal/tensor"
 )
 
@@ -214,6 +215,40 @@ func TestFaultsReallocation(t *testing.T) {
 			if rm.TrainLoss <= 0 {
 				t.Fatalf("job %s round %d trained nothing (loss %v)", j.Cfg.Name, i, rm.TrainLoss)
 			}
+		}
+	}
+}
+
+// TestLateJoinEntersCandidateSet drives a plan where half the fleet joins
+// late: the allocator's candidate set starts at the founding clients only
+// and admits each joiner at its scheduled round, visible through the
+// fleet_active_clients gauge, while a job whose demand only the grown
+// fleet can cover still trains every round on whoever is present.
+func TestLateJoinEntersCandidateSet(t *testing.T) {
+	plan := faults.NewPlan(6).JoinAt(2, 1).JoinAt(3, 2)
+	m, topo, cost := newFleet(t, Config{Seed: 6}, 4, plan, nil)
+	tel := telemetry.New()
+	m.SetTelemetry(tel)
+	tr, s := buildJob(t, 4, 1, nil, topo, cost)
+	j, err := m.Submit(JobConfig{Name: "a", Demand: 4, Rounds: 3, Samples: s}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauge := tel.Gauge("fleet_active_clients")
+	for round, want := range []float64{2, 3, 4} {
+		m.RunRound()
+		if got := gauge.Value(); got != want {
+			t.Fatalf("round %d: %v active clients, want %v", round, got, want)
+		}
+	}
+	// Scarcity scaling served the job with 2, then 3, then all 4 clients —
+	// no round lost waiting for the cohort to fill up.
+	if j.State != Done || j.RoundsDone != 3 {
+		t.Fatalf("job after churn: state %v rounds %d, want done/3", j.State, j.RoundsDone)
+	}
+	for i, rm := range j.History {
+		if rm.TrainLoss <= 0 {
+			t.Fatalf("round %d trained nothing (loss %v)", i, rm.TrainLoss)
 		}
 	}
 }

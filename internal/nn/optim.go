@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"fedmigr/internal/tensor"
@@ -51,6 +52,70 @@ func (s *SGD) Step(m *Sequential) {
 		}
 		g.Zero()
 	}
+}
+
+// ExportVelocity returns the optimizer's momentum buffers for m flattened
+// in parameter order — the serializable optimizer state a migrating
+// TrainState carries. Parameters that have no buffer yet (or a zero-
+// momentum optimizer) export zeros; the result is nil when no buffer
+// exists at all, so momentum-free state costs nothing on the wire.
+func (s *SGD) ExportVelocity(m *Sequential) []float64 {
+	ps, _ := m.Params()
+	total, have := 0, false
+	for _, p := range ps {
+		total += p.Size()
+		if _, ok := s.vel[p]; ok {
+			have = true
+		}
+	}
+	if !have {
+		return nil
+	}
+	out := make([]float64, 0, total)
+	for _, p := range ps {
+		if v, ok := s.vel[p]; ok {
+			out = append(out, v.Data()...)
+		} else {
+			out = append(out, make([]float64, p.Size())...)
+		}
+	}
+	return out
+}
+
+// ImportVelocity installs momentum buffers for m from a flat slice in
+// parameter order (the inverse of ExportVelocity). A nil slice clears the
+// buffers; any other length than the model's total parameter count is an
+// error. The buffers are re-keyed onto m's parameter tensors, so the state
+// transfers onto a freshly materialized replica on another node.
+func (s *SGD) ImportVelocity(m *Sequential, data []float64) error {
+	if s.vel == nil {
+		s.vel = make(map[*tensor.Tensor]*tensor.Tensor)
+	}
+	ps, _ := m.Params()
+	if data == nil {
+		for _, p := range ps {
+			delete(s.vel, p)
+		}
+		return nil
+	}
+	total := 0
+	for _, p := range ps {
+		total += p.Size()
+	}
+	if len(data) != total {
+		return fmt.Errorf("nn: velocity length %d does not match model parameter count %d", len(data), total)
+	}
+	off := 0
+	for _, p := range ps {
+		v, ok := s.vel[p]
+		if !ok {
+			v = tensor.New(p.Shape()...)
+			s.vel[p] = v
+		}
+		copy(v.Data(), data[off:off+p.Size()])
+		off += p.Size()
+	}
+	return nil
 }
 
 // Adam is the Adam optimizer, used to train the DDPG actor and critic.

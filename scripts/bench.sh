@@ -185,3 +185,38 @@ END {
 }' "$tmp" > "$jobs_out"
 
 echo "bench.sh: wrote $jobs_out ($(grep -c '"jobs"\|"op"' "$jobs_out") records)"
+
+# ---- churn-rate sweep -> BENCH_churn.json -----------------------------
+# Sweeps the seeded arrival process: a 64-client founding cohort plus
+# 0/64/256/1024 late joiners arriving over epochs [1,5). Every join epoch
+# is a splitmix64 hash of (plan seed, client id), so the schedule replays
+# identically at any rate; the sweep records the replayed arrival rate in
+# joins per simulated minute (reaching thousands at the top end) and the
+# wall cost per epoch, which must stay near-flat — admission is O(1) per
+# joiner, not a cohort-wide reshuffle.
+churn_out="BENCH_churn.json"
+epochs=6
+: > "$tmp"
+for n in 0 64 256 1024; do
+    churnflags=""
+    if [ "$n" -gt 0 ]; then churnflags="-churn 64:$n:1-5"; fi
+    start=$(date +%s%N)
+    run=$("$simbin" -scheme fedavg -model mlp -partition replicate \
+        -replica-shards 8 -clients $((64 + n)) -lans 8 -perclass 8 \
+        -epochs "$epochs" -agg 2 -batch 8 -cohort 32 -seed 11 -quiet $churnflags)
+    elapsed=$(($(date +%s%N) - start))
+    joins=$(printf '%s\n' "$run" | sed -n 's/^churn: joins=\([0-9]*\).*/\1/p')
+    simwall=$(printf '%s\n' "$run" | sed -n 's/^time: wall=\([0-9.]*\)s.*/\1/p')
+    echo "$n ${joins:-0} ${simwall:-0} $((elapsed / epochs))"
+done | tee -a "$tmp"
+
+awk '
+{
+    n++
+    rate = ($3 > 0) ? $2 / ($3 / 60) : 0
+    printf "%s  {\"founding\": 64, \"joiners\": %d, \"joins\": %d, \"sim_wall_s\": %s, \"joins_per_sim_min\": %.1f, \"ns_per_epoch\": %d}", \
+        (n > 1 ? ",\n" : "[\n"), $1, $2, $3, rate, $4
+}
+END { printf "\n]\n" }' "$tmp" > "$churn_out"
+
+echo "bench.sh: wrote $churn_out ($(grep -c '"joiners"' "$churn_out") records)"

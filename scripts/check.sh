@@ -31,6 +31,11 @@ go test -race -run 'Parity|WorkerCountInvariance|ParallelRunMatchesSerial' ./int
 # over a shared 1000-client fleet must produce bit-identical per-job
 # models at 1 and 8 workers, streaming or buffered aggregation.
 go test -race -run 'TestFleetWorkerInvariance1k' .
+# Dynamic-membership chaos under the race detector: 8 founding clients,
+# two mid-session joins with warm handoff, one graceful leave whose
+# in-flight TrainState is adopted by a survivor, and one crash — the
+# session must lose zero rounds, and the test checks goroutine leaks.
+go test -race -run 'TestChurnChaosSession' ./internal/fednet
 # 100k-client streaming smoke: one full cohort-sampled, hierarchically
 # aggregated run at 100 000 simulated clients. The test itself asserts the
 # post-GC heap ceiling (256 MB) and that peak hydrated replicas equal the
