@@ -1,0 +1,91 @@
+package fedmigr
+
+import (
+	"fedmigr/internal/core"
+	"fedmigr/internal/data"
+	"fedmigr/internal/edgenet"
+)
+
+// AnalyticOptions configures the one-shot analytic baseline (FedHENet
+// style): a frozen seeded random-feature extractor — regenerated from the
+// seed on every client, so it costs zero transfer — plus a closed-form
+// ridge-regression head solved exactly in ONE aggregation round from
+// per-client Gram/moment statistics. The baseline every iterative scheme's
+// communication bill is compared against.
+type AnalyticOptions struct {
+	// Features is the random-feature width of the frozen extractor
+	// (default 64). Upload cost per client is 8·((F+1)² + (F+1)·classes)
+	// bytes, independent of the client's sample count.
+	Features int
+	// Ridge is the regularizer λ of the closed-form solve (default 1e-3).
+	Ridge float64
+
+	// Options supplies the shared substrate: dataset, partition, Clients,
+	// LANs, Cost, Workers, Telemetry, Seed. Scheme, migration and SGD
+	// hyper-parameters are ignored — there is no iterative phase.
+	Options
+}
+
+// AnalyticSim is an assembled one-shot analytic run.
+type AnalyticSim struct {
+	Trainer  *core.AnalyticTrainer
+	Test     *data.Dataset
+	Clients  []*core.Client
+	Topology *edgenet.Topology
+	Cost     *edgenet.CostModel
+	Options  AnalyticOptions
+}
+
+// NewAnalytic assembles the one-shot analytic simulation over the same
+// dataset/partition substrate New builds, without running it.
+func NewAnalytic(o AnalyticOptions) (*AnalyticSim, error) {
+	o.Options = o.Options.withDefaults()
+	base := o.Options
+
+	train, test, _, err := buildDataset(base)
+	if err != nil {
+		return nil, err
+	}
+	parts, topo, err := partition(base, train)
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]*core.Client, base.Clients)
+	for i := range clients {
+		clients[i] = &core.Client{ID: i, Data: parts[i]}
+	}
+	cost := base.Cost
+	if cost == nil {
+		cost = edgenet.DefaultCostModel()
+		cost.Jitter = 0.1
+		cost.Seed(base.Seed + 7)
+	}
+	tr, err := core.NewAnalyticTrainer(core.AnalyticConfig{
+		Features: o.Features, Ridge: o.Ridge,
+		Workers: base.Workers, Seed: base.Seed,
+	}, clients, topo, cost, test)
+	if err != nil {
+		return nil, err
+	}
+	tr.SetTelemetry(base.Telemetry)
+	return &AnalyticSim{
+		Trainer: tr, Test: test, Clients: clients,
+		Topology: topo, Cost: cost, Options: o,
+	}, nil
+}
+
+// Run executes the single analytic round.
+func (s *AnalyticSim) Run() *Result { return s.Trainer.Run() }
+
+// Close releases the trainer's scheduler pool.
+func (s *AnalyticSim) Close() { s.Trainer.Close() }
+
+// RunAnalytic assembles and executes a one-shot analytic run in one call.
+func RunAnalytic(o AnalyticOptions) (*Result, error) {
+	s, err := NewAnalytic(o)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Run(), nil
+}

@@ -79,6 +79,13 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
 		allowDrift = flag.Bool("allow-membership-drift", false, "resume even when the checkpoint's membership manifest disagrees with the membership the flags describe (warns instead of refusing)")
 
+		clusters       = flag.Int("clusters", 0, "clustered federation: group clients by label-distribution EMD into this many cluster models training concurrently (0 = single global model)")
+		reclusterEvery = flag.Int("recluster-every", 0, "with -clusters: re-evaluate the client→cluster assignment every N fleet rounds, migrating drifted clients between cluster models (0 = initial grouping is final)")
+		clusterRounds  = flag.Int("cluster-rounds", 20, "with -clusters: each cluster model's round budget")
+		analytic       = flag.Bool("analytic", false, "one-shot analytic baseline: frozen seeded random-feature extractor + closed-form ridge head, solved in exactly ONE aggregation round")
+		features       = flag.Int("features", 64, "with -analytic: random-feature width of the frozen extractor")
+		ridge          = flag.Float64("ridge", 0, "with -analytic: ridge regularizer lambda (default 1e-3)")
+
 		jobsSpec     = flag.String("jobs", "", "multi-tenant mode: run N jobs over one shared client fleet; spec is name=a,demand=4,rounds=10[,weight=,scheme=,dataset=,model=,migrator=,agg=,tau=,lr=,batch=,perclass=,noise=,seed=];name=b,... — unset per-job keys inherit the top-level flags")
 		maxHydrated  = flag.Int("max-hydrated", 0, "with -jobs: admission budget on the summed demand of running jobs (0 = unlimited)")
 		hungarianMax = flag.Int("hungarian-max", 0, "with -jobs: max active clients solved with the exact Hungarian allocator; larger rounds use the greedy fallback (default 256)")
@@ -150,6 +157,31 @@ func main() {
 		Seed:            *seed,
 		Telemetry:       tel,
 		Faults:          plan,
+	}
+
+	// One-shot analytic mode: no iterative phase at all — a single exact
+	// aggregation round of per-client Gram/moment statistics.
+	if *analytic {
+		if err := runAnalytic(fedmigr.AnalyticOptions{
+			Features: *features, Ridge: *ridge, Options: o,
+		}, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Clustered mode: -clusters switches fedmigr-sim from one global model
+	// to k cluster models over one shared partition, grouped by EMD.
+	if *clusters > 0 {
+		if err := runClustered(fedmigr.ClusteredOptions{
+			Clusters: *clusters, ReclusterEvery: *reclusterEvery,
+			Rounds: *clusterRounds, MaxHydrated: *maxHydrated, Options: o,
+		}, *maxRounds, *ckptEvery, *ckptDir, *resume, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Multi-tenant mode: -jobs switches fedmigr-sim from one trainer to a

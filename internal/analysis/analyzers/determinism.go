@@ -25,6 +25,10 @@ var deterministicZones = []string{
 	// must replay the identical churn from a Plan, so arrival draws and
 	// schedule accessors may not touch wall clock or ambient randomness.
 	"fedmigr/internal/faults",
+	// Clustered federation: the k-medoids grouping and every re-evaluation
+	// must produce the same client→cluster assignment for a given seed and
+	// distribution set, or two runs silently train different cluster models.
+	"fedmigr/internal/cluster",
 }
 
 // seededRandCtors are the math/rand entry points that take an explicit
@@ -48,7 +52,7 @@ var seededRandCtors = map[string]bool{
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbids time.Now/time.Since, global math/rand, and map-order-dependent " +
-		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg, fleet, faults); " +
+		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg, fleet, faults, cluster); " +
 		"telemetry timing must use the injected telemetry.Now/Since clock",
 	Run: runDeterminism,
 }

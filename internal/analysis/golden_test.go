@@ -24,6 +24,7 @@ var fixtures = []struct {
 	{"determinismagg", "fedmigr/internal/agg", analyzers.Determinism},
 	{"determinismfleet", "fedmigr/internal/fleet", analyzers.Determinism},
 	{"determinismfaults", "fedmigr/internal/faults", analyzers.Determinism},
+	{"determinismcluster", "fedmigr/internal/cluster", analyzers.Determinism},
 	{"lockcheck", "fedmigr/internal/fednet", analyzers.LockCheck},
 	{"errcheck", "fedmigr/internal/fednet", analyzers.ErrCheck},
 	{"telemetrynames", "fedmigr/internal/core", analyzers.TelemetryNames},

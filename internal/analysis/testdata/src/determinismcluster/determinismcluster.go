@@ -1,0 +1,46 @@
+// Package fixture proves the determinism zone gate covers the clustered-
+// federation manager: the golden test loads it under the import path
+// fedmigr/internal/cluster, where the client→cluster assignment must be a
+// pure function of (seed, distributions) — no wall clock in medoid
+// iteration timing, no global RNG in tie-breaks, no map-order-dependent
+// reductions over per-cluster accumulators.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func reclusterStamp() time.Duration {
+	start := time.Now()      // want `wall clock time.Now`
+	return time.Since(start) // want `wall clock time.Since`
+}
+
+func randomMedoidInit(n int) int {
+	return rand.Intn(n) // want `global math/rand Intn`
+}
+
+func totalHandoff(bytesPerCluster map[int]int64) int64 {
+	var total int64
+	for _, b := range bytesPerCluster { // want `map iteration feeds a reduction`
+		total += b
+	}
+	return total
+}
+
+// keyedMoves is allowed: each per-cluster move count lands at its own
+// cluster slot, so the write set is independent of iteration order.
+func keyedMoves(moves map[int]int, counts []int) {
+	for c, n := range moves {
+		counts[c] = n
+	}
+}
+
+func suppressedCost(emd map[int]float64) float64 {
+	cost := 0.0
+	//lint:ignore determinism EMD terms are non-negative and summed for a threshold test only
+	for _, d := range emd {
+		cost += d
+	}
+	return cost
+}

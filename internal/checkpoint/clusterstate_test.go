@@ -1,0 +1,107 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest() ClusterManifest {
+	return ClusterManifest{
+		Clusters:       2,
+		ReclusterEvery: 3,
+		Seed:           7,
+		Round:          12,
+		Assign:         []int{0, 0, 1, 1, 0},
+		Medoids:        []int{1, 2},
+		Moves:          4,
+		HandoffBytes:   4096,
+	}
+}
+
+func TestClusterManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleManifest()
+	if err := SaveClusterManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClusterManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("manifest not found after save")
+	}
+	if got.Version != ClusterVersion {
+		t.Fatalf("version %d, want %d", got.Version, ClusterVersion)
+	}
+	if got.Clusters != want.Clusters || got.ReclusterEvery != want.ReclusterEvery ||
+		got.Seed != want.Seed || got.Round != want.Round ||
+		got.Moves != want.Moves || got.HandoffBytes != want.HandoffBytes {
+		t.Fatalf("scalar fields differ: got %+v want %+v", got, want)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("assign[%d] = %d, want %d", i, got.Assign[i], want.Assign[i])
+		}
+	}
+	for c := range want.Medoids {
+		if got.Medoids[c] != want.Medoids[c] {
+			t.Fatalf("medoid[%d] = %d, want %d", c, got.Medoids[c], want.Medoids[c])
+		}
+	}
+	// No leftover temp file: the write must be atomic.
+	if _, err := os.Stat(filepath.Join(dir, ClusterFile+".tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestClusterManifestMissing(t *testing.T) {
+	m, err := LoadClusterManifest(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatal("missing manifest should load as nil, nil")
+	}
+}
+
+func TestClusterManifestRefusesNewerVersion(t *testing.T) {
+	dir := t.TempDir()
+	blob := `{"version": 99, "clusters": 1, "assign": [0], "medoids": [0]}`
+	if err := os.WriteFile(filepath.Join(dir, ClusterFile), []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClusterManifest(dir); err == nil ||
+		!strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("want schema-version refusal, got %v", err)
+	}
+}
+
+func TestClusterManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	bad := sampleManifest()
+	bad.Assign[0] = 7 // out of range
+	if err := SaveClusterManifest(dir, bad); err == nil {
+		t.Fatal("want error for out-of-range assignment")
+	}
+	bad = sampleManifest()
+	bad.Medoids = []int{1} // wrong count
+	if err := SaveClusterManifest(dir, bad); err == nil {
+		t.Fatal("want error for medoid/cluster count mismatch")
+	}
+	bad = sampleManifest()
+	bad.Medoids = []int{1, 1} // medoid 1 belongs to cluster 0, not 1
+	if err := SaveClusterManifest(dir, bad); err == nil {
+		t.Fatal("want error for medoid assigned to another cluster")
+	}
+	// Loading a corrupt on-disk manifest is refused too.
+	blob := `{"version": 4, "clusters": 2, "assign": [0, 9], "medoids": [0, 1]}`
+	if err := os.WriteFile(filepath.Join(dir, ClusterFile), []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClusterManifest(dir); err == nil {
+		t.Fatal("want error for corrupt manifest")
+	}
+}

@@ -1,0 +1,177 @@
+// Package cluster is the clustered-federation tier above internal/core and
+// internal/fleet: it groups clients by the EMD between their label
+// distributions (the divergence the paper's convergence analysis is built
+// on), maps each cluster onto one fleet job training its own model, and
+// re-evaluates the grouping every R rounds so clients migrate between
+// cluster models when their distributions drift.
+//
+// Everything in this package is a deterministic zone (DESIGN.md §5): the
+// clustering is a pure function of (distance matrix, k, seed) — medoid
+// seeding uses a splitmix64 stream keyed by the seed, every tie breaks to
+// the lowest index — and the manager runs on the fleet coordinator
+// goroutine, so clustered runs are bit-identical across worker counts.
+package cluster
+
+// splitmix64 is the repo's standard seed-mixing recipe (same constants as
+// core's modelEpochSeed): one well-distributed draw per (seed, a, b) key,
+// with no stream state shared across call sites.
+func splitmix64(seed int64, a, b int) uint64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15*uint64(a+1) ^ 0xd6e8feb86659fd93*uint64(b+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Clustering is the result of a k-medoids run over n items.
+type Clustering struct {
+	// Assign[i] is item i's cluster index in [0, K).
+	Assign []int
+	// Medoids[c] is the item index of cluster c's medoid.
+	Medoids []int
+	// Cost is the total distance of every item to its cluster's medoid.
+	Cost float64
+}
+
+// K returns the number of clusters.
+func (cl Clustering) K() int { return len(cl.Medoids) }
+
+// Members returns cluster c's member items, ascending.
+func (cl Clustering) Members(c int) []int {
+	var out []int
+	for i, a := range cl.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// KMedoids partitions the n items of a symmetric n×n distance matrix into
+// k clusters by Voronoi-iteration k-medoids. Deterministic by
+// construction: the first medoid is a splitmix64 draw from the seed, the
+// rest are farthest-point picks, assignment and medoid updates break ties
+// to the lowest index, and iteration runs to a fixpoint (or a generous
+// bound). k is clamped to [1, n].
+func KMedoids(dist [][]float64, k int, seed int64) Clustering {
+	n := len(dist)
+	if n == 0 {
+		return Clustering{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+
+	// Seeded farthest-point initialization: one random anchor, then each
+	// new medoid is the item farthest from its nearest chosen medoid —
+	// spreads the seeds across the distribution modes so Voronoi iteration
+	// starts near the latent grouping.
+	medoids := make([]int, 0, k)
+	medoids = append(medoids, int(splitmix64(seed, 0, n)%uint64(n)))
+	nearest := make([]float64, n) // distance to the closest chosen medoid
+	for i := range nearest {
+		nearest[i] = dist[i][medoids[0]]
+	}
+	for len(medoids) < k {
+		far, farD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if nearest[i] > farD {
+				far, farD = i, nearest[i]
+			}
+		}
+		medoids = append(medoids, far)
+		for i := 0; i < n; i++ {
+			if d := dist[i][far]; d < nearest[i] {
+				nearest[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	const maxIters = 100
+	for iter := 0; iter < maxIters; iter++ {
+		changed := assignNearest(dist, medoids, assign)
+		if iter > 0 && !changed {
+			break
+		}
+		// Medoid update: each cluster's new medoid is the member minimizing
+		// the summed distance to the other members (lowest index on ties).
+		moved := false
+		for c := range medoids {
+			best, bestCost := medoids[c], -1.0
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				cost := 0.0
+				for j := 0; j < n; j++ {
+					if assign[j] == c {
+						cost += dist[i][j]
+					}
+				}
+				if bestCost < 0 || cost < bestCost {
+					best, bestCost = i, cost
+				}
+			}
+			if best != medoids[c] {
+				medoids[c] = best
+				moved = true
+			}
+		}
+		if !moved {
+			break // assign is already nearest w.r.t. the unchanged medoids
+		}
+	}
+
+	cost := 0.0
+	for i, c := range assign {
+		cost += dist[i][medoids[c]]
+	}
+	return Clustering{Assign: assign, Medoids: medoids, Cost: cost}
+}
+
+// assignNearest points every item at its nearest medoid (lowest cluster
+// index on exact ties) and reports whether any assignment changed.
+func assignNearest(dist [][]float64, medoids []int, assign []int) bool {
+	changed := false
+	for i := range assign {
+		best, bestD := 0, dist[i][medoids[0]]
+		for c := 1; c < len(medoids); c++ {
+			if d := dist[i][medoids[c]]; d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// EqualPartition reports whether two assignment vectors describe the same
+// partition of the items up to cluster relabeling — the ground-truth check
+// for cluster-recovery tests.
+func EqualPartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ab := map[int]int{}
+	ba := map[int]int{}
+	for i := range a {
+		if m, ok := ab[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := ba[b[i]]; ok && m != a[i] {
+			return false
+		}
+		ab[a[i]] = b[i]
+		ba[b[i]] = a[i]
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"testing"
+
+	"fedmigr/internal/stats"
+	"fedmigr/internal/tensor"
+)
+
+// latentDists builds n client distributions drawn from k well-separated
+// latent label groups: clients of group g hold mass only on the g-th slice
+// of the label space (plus seeded jitter).
+func latentDists(n, k, classes int, seed int64) ([]stats.Distribution, []int) {
+	g := tensor.NewRNG(seed)
+	dists := make([]stats.Distribution, n)
+	truth := make([]int, n)
+	per := classes / k
+	for i := range dists {
+		grp := i % k
+		truth[i] = grp
+		counts := make([]float64, classes)
+		lo := grp * per
+		hi := lo + per
+		if grp == k-1 {
+			hi = classes
+		}
+		for l := lo; l < hi; l++ {
+			counts[l] = 1 + 0.2*g.Float64()
+		}
+		dists[i] = stats.NewDistribution(counts)
+	}
+	return dists, truth
+}
+
+func TestKMedoidsRecoversLatentGroups(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		dists, truth := latentDists(24, 3, 9, seed)
+		cl := KMedoids(stats.PairwiseEMD(dists), 3, seed)
+		if !EqualPartition(cl.Assign, truth) {
+			t.Fatalf("seed %d: assignment %v does not match ground truth %v", seed, cl.Assign, truth)
+		}
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	dists, _ := latentDists(30, 4, 12, 5)
+	d := stats.PairwiseEMD(dists)
+	a := KMedoids(d, 4, 11)
+	b := KMedoids(d, 4, 11)
+	if !equalInts(a.Assign, b.Assign) || !equalInts(a.Medoids, b.Medoids) || a.Cost != b.Cost {
+		t.Fatal("same inputs produced different clusterings")
+	}
+	c := KMedoids(d, 4, 12)
+	// A different seed may relabel clusters but must still find a valid
+	// k-way partition.
+	if len(c.Medoids) != 4 {
+		t.Fatalf("got %d medoids", len(c.Medoids))
+	}
+}
+
+func TestKMedoidsClampsK(t *testing.T) {
+	dists, _ := latentDists(3, 3, 6, 1)
+	d := stats.PairwiseEMD(dists)
+	if got := KMedoids(d, 0, 1).K(); got != 1 {
+		t.Fatalf("k=0 clamped to %d, want 1", got)
+	}
+	if got := KMedoids(d, 10, 1).K(); got != 3 {
+		t.Fatalf("k=10 clamped to %d, want 3", got)
+	}
+	if got := KMedoids(nil, 3, 1).K(); got != 0 {
+		t.Fatalf("empty matrix yielded %d clusters", got)
+	}
+}
+
+func TestEqualPartition(t *testing.T) {
+	if !EqualPartition([]int{0, 0, 1, 2}, []int{2, 2, 0, 1}) {
+		t.Fatal("relabeled partition should match")
+	}
+	if EqualPartition([]int{0, 0, 1}, []int{0, 1, 1}) {
+		t.Fatal("different partitions should not match")
+	}
+	if EqualPartition([]int{0}, []int{0, 1}) {
+		t.Fatal("length mismatch should not match")
+	}
+}
+
+func TestManagerReclusterMigratesDriftedClient(t *testing.T) {
+	dists, _ := latentDists(12, 3, 9, 3)
+	m, err := New(Config{Clusters: 3, Seed: 9}, dists, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Assignments()
+
+	// Drift one non-pinned client onto another cluster's label slice.
+	victim := -1
+	for i := range dists {
+		pinned := false
+		for _, p := range m.pinned {
+			if p == i {
+				pinned = true
+			}
+		}
+		if !pinned {
+			victim = i
+			break
+		}
+	}
+	dest := (before[victim] + 1) % 3
+	shifted := append([]stats.Distribution(nil), dists...)
+	for i, a := range before {
+		if a == dest && i != victim {
+			shifted[victim] = dists[i]
+			break
+		}
+	}
+	if err := m.SetDistributions(shifted); err != nil {
+		t.Fatal(err)
+	}
+	moved := m.Recluster()
+	if moved != 1 {
+		t.Fatalf("moved %d clients, want 1", moved)
+	}
+	after := m.Assignments()
+	if after[victim] != dest {
+		t.Fatalf("victim assigned to %d, want %d", after[victim], dest)
+	}
+	if m.Moves() != 1 {
+		t.Fatalf("Moves() = %d", m.Moves())
+	}
+	// Determinism: replaying the same recluster on a fresh manager moves
+	// the same client to the same cluster.
+	m2, _ := New(Config{Clusters: 3, Seed: 9}, dists, nil)
+	if err := m2.SetDistributions(shifted); err != nil {
+		t.Fatal(err)
+	}
+	m2.Recluster()
+	if !equalInts(m2.Assignments(), after) {
+		t.Fatal("recluster is not deterministic")
+	}
+}
+
+func TestManagerPinnedAnchorNeverMoves(t *testing.T) {
+	dists, _ := latentDists(9, 3, 9, 2)
+	m, err := New(Config{Clusters: 3, Seed: 4}, dists, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift EVERY client in cluster 0 onto cluster 1's labels: the pinned
+	// anchor must stay so the cluster cannot empty out.
+	assign := m.Assignments()
+	var donor stats.Distribution
+	for i, a := range assign {
+		if a == 1 {
+			donor = dists[i]
+			break
+		}
+	}
+	shifted := append([]stats.Distribution(nil), dists...)
+	for i, a := range assign {
+		if a == 0 {
+			shifted[i] = donor
+		}
+	}
+	if err := m.SetDistributions(shifted); err != nil {
+		t.Fatal(err)
+	}
+	m.Recluster()
+	for c := 0; c < 3; c++ {
+		if len(m.Members(c)) == 0 {
+			t.Fatalf("cluster %d emptied out", c)
+		}
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	dists, _ := latentDists(6, 2, 6, 1)
+	if _, err := New(Config{Clusters: 2}, nil, nil); err == nil {
+		t.Fatal("want error for no distributions")
+	}
+	if _, err := New(Config{Clusters: 2}, dists, []int{1, 2}); err == nil {
+		t.Fatal("want error for sample-count mismatch")
+	}
+	m, err := New(Config{Clusters: 99, Seed: 1}, dists, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 6 {
+		t.Fatalf("Clusters clamped to %d, want 6", m.K())
+	}
+	if err := m.SetDistributions(dists[:2]); err == nil {
+		t.Fatal("want error for SetDistributions size mismatch")
+	}
+	if err := m.Bind(nil, nil); err == nil {
+		t.Fatal("want error for nil fleet")
+	}
+}

@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"fmt"
+
+	"fedmigr/internal/fleet"
+	"fedmigr/internal/stats"
+	"fedmigr/internal/telemetry"
+)
+
+// Config parameterizes the cluster manager.
+type Config struct {
+	// Clusters is the number of cluster models k (clamped to [1, K]).
+	Clusters int
+	// ReclusterEvery re-evaluates assignments every that many fleet rounds
+	// (0 disables re-evaluation: the initial grouping is final).
+	ReclusterEvery int
+	// Seed drives the k-medoids initialization.
+	Seed int64
+}
+
+// Manager owns the client→cluster assignment over a fleet.Manager whose
+// jobs are the cluster models, one job per cluster in cluster order. The
+// initial grouping is a full k-medoids over the pairwise-EMD matrix;
+// re-evaluations keep cluster identity stable FlexCFL-style — each cluster
+// is represented by the sample-weighted mix of its members' label
+// distributions, and every client moves to the representative nearest its
+// CURRENT distribution. A moved client warm-starts from the destination
+// cluster's global model at its next allocated round (the same adoption
+// path a churn join takes), so migration costs one extra model download,
+// which the manager bills as handoff bytes.
+type Manager struct {
+	cfg     Config
+	fm      *fleet.Manager
+	names   []string // job name per cluster, cluster order
+	dists   []stats.Distribution
+	samples []int // per-client sample counts (weight of the member mix)
+	assign  []int
+	medoids []int
+	pinned  []int // one pinned client per cluster: keeps every cluster non-empty
+	moves   int
+	handoff int64
+
+	tel *telemetry.Telemetry
+}
+
+// New computes the initial clustering from the clients' label
+// distributions. samples may be nil for uniform member weighting. The
+// manager is not runnable until Bind attaches the per-cluster fleet jobs.
+func New(cfg Config, dists []stats.Distribution, samples []int) (*Manager, error) {
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("cluster: no client distributions")
+	}
+	if samples != nil && len(samples) != len(dists) {
+		return nil, fmt.Errorf("cluster: %d sample counts for %d clients", len(samples), len(dists))
+	}
+	if cfg.Clusters < 1 {
+		cfg.Clusters = 1
+	}
+	if cfg.Clusters > len(dists) {
+		cfg.Clusters = len(dists)
+	}
+	m := &Manager{cfg: cfg, samples: samples}
+	m.dists = append([]stats.Distribution(nil), dists...)
+	cl := KMedoids(stats.PairwiseEMD(m.dists), cfg.Clusters, cfg.Seed)
+	m.assign = cl.Assign
+	m.medoids = cl.Medoids
+	m.pinned = append([]int(nil), cl.Medoids...)
+	return m, nil
+}
+
+// Bind attaches the fleet whose jobs realize the clusters: names[c] is the
+// job carrying cluster c's model. Every named job must exist and its
+// member list must match the manager's current assignment.
+func (m *Manager) Bind(fm *fleet.Manager, names []string) error {
+	if fm == nil {
+		return fmt.Errorf("cluster: Bind with nil fleet")
+	}
+	if len(names) != m.K() {
+		return fmt.Errorf("cluster: %d job names for %d clusters", len(names), m.K())
+	}
+	for c, name := range names {
+		j := fm.Job(name)
+		if j == nil {
+			return fmt.Errorf("cluster: fleet has no job %q for cluster %d", name, c)
+		}
+		if !equalInts(j.Cfg.Members, m.Members(c)) {
+			return fmt.Errorf("cluster: job %q members diverge from cluster %d assignment", name, c)
+		}
+	}
+	m.fm = fm
+	m.names = append([]string(nil), names...)
+	return nil
+}
+
+// SetTelemetry installs the cluster_* event stream.
+func (m *Manager) SetTelemetry(tel *telemetry.Telemetry) { m.tel = tel }
+
+// K returns the number of clusters.
+func (m *Manager) K() int { return m.cfg.Clusters }
+
+// Assignments returns a copy of the current client→cluster assignment.
+func (m *Manager) Assignments() []int { return append([]int(nil), m.assign...) }
+
+// Medoids returns a copy of the current cluster medoid clients.
+func (m *Manager) Medoids() []int { return append([]int(nil), m.medoids...) }
+
+// Members returns cluster c's member clients, ascending.
+func (m *Manager) Members(c int) []int {
+	return Clustering{Assign: m.assign, Medoids: m.medoids}.Members(c)
+}
+
+// Moves returns the total number of client migrations between cluster
+// models across all re-evaluations.
+func (m *Manager) Moves() int { return m.moves }
+
+// HandoffBytes returns the total warm-handoff traffic billed for those
+// migrations (one destination-model download per moved client).
+func (m *Manager) HandoffBytes() int64 { return m.handoff }
+
+// Round returns the bound fleet's completed round count.
+func (m *Manager) Round() int { return m.fm.Round() }
+
+// Fleet returns the bound fleet manager (nil before Bind).
+func (m *Manager) Fleet() *fleet.Manager { return m.fm }
+
+// Representatives returns each cluster's current label-distribution
+// representative — the sample-weighted mix of its members' distributions —
+// which is also what callers route evaluation traffic on: a test sample of
+// label l belongs to the cluster whose representative weights l highest.
+func (m *Manager) Representatives() []stats.Distribution { return m.representatives() }
+
+// SetDistributions replaces the per-client label distributions the next
+// re-evaluation clusters on — the hook distribution-shift scenarios use to
+// drift clients between clusters mid-run.
+func (m *Manager) SetDistributions(dists []stats.Distribution) error {
+	if len(dists) != len(m.dists) {
+		return fmt.Errorf("cluster: SetDistributions with %d clients, have %d", len(dists), len(m.dists))
+	}
+	copy(m.dists, dists)
+	return nil
+}
+
+// RunRound steps the fleet one round, then re-evaluates the clustering on
+// the configured cadence. Returns the number of jobs served.
+func (m *Manager) RunRound() int {
+	if m.fm == nil {
+		panic("cluster: RunRound before Bind")
+	}
+	served := m.fm.RunRound()
+	if m.cfg.ReclusterEvery > 0 && m.fm.Round()%m.cfg.ReclusterEvery == 0 && !m.fm.Idle() {
+		m.Recluster()
+	}
+	return served
+}
+
+// Run drives rounds until the fleet is idle or maxRounds elapse (0 = no
+// bound). Returns the rounds executed by this call.
+func (m *Manager) Run(maxRounds int) int {
+	n := 0
+	for m.fm != nil && !m.fm.Idle() {
+		if maxRounds > 0 && n >= maxRounds {
+			break
+		}
+		m.RunRound()
+		n++
+	}
+	return n
+}
+
+// Recluster re-evaluates the assignment against the current distributions
+// and rebinds the fleet jobs' member lists, returning how many clients
+// moved. Cluster identity is stable: clients are reassigned to the nearest
+// EXISTING cluster representative (the sample-weighted member mix), ties
+// to the lowest cluster, and each cluster's pinned anchor client never
+// moves so no cluster can empty out.
+func (m *Manager) Recluster() int {
+	reps := m.representatives()
+	moved := 0
+	for i, d := range m.dists {
+		best, bestD := m.assign[i], stats.EMD(d, reps[m.assign[i]])
+		for c := range reps {
+			if c == m.assign[i] {
+				continue
+			}
+			if dd := stats.EMD(d, reps[c]); dd < bestD || (dd == bestD && c < best) {
+				best, bestD = c, dd
+			}
+		}
+		if best == m.assign[i] || i == m.pinned[m.assign[i]] {
+			continue
+		}
+		from := m.assign[i]
+		m.assign[i] = best
+		moved++
+		if m.fm != nil {
+			if j := m.fm.Job(m.names[best]); j != nil && j.Trainer != nil {
+				m.handoff += j.Trainer.GlobalModel().ByteSize()
+			}
+		}
+		if m.tel != nil {
+			m.tel.Event("cluster_migration", "client", i, "from", from, "to", best,
+				"round", m.fm.Round(), "emd", bestD)
+		}
+	}
+	if moved > 0 {
+		m.moves += moved
+		m.updateMedoids()
+		m.rebindJobs()
+	}
+	if m.tel != nil {
+		m.tel.Event("cluster_recluster", "round", m.fm.Round(), "moved", moved)
+	}
+	return moved
+}
+
+// representatives returns each cluster's current label-distribution
+// representative: the sample-weighted mix of its members' distributions.
+func (m *Manager) representatives() []stats.Distribution {
+	classes := len(m.dists[0])
+	reps := make([]stats.Distribution, m.K())
+	weight := make([]float64, m.K())
+	for c := range reps {
+		reps[c] = make(stats.Distribution, classes)
+	}
+	for i, d := range m.dists {
+		w := 1.0
+		if m.samples != nil {
+			w = float64(m.samples[i])
+		}
+		c := m.assign[i]
+		weight[c] += w
+		for l, p := range d {
+			reps[c][l] += w * p
+		}
+	}
+	for c := range reps {
+		if weight[c] > 0 {
+			for l := range reps[c] {
+				reps[c][l] /= weight[c]
+			}
+		}
+	}
+	return reps
+}
+
+// updateMedoids recomputes each cluster's medoid (and pinned anchor) as
+// the member minimizing the summed EMD to the other members.
+func (m *Manager) updateMedoids() {
+	for c := range m.medoids {
+		members := m.Members(c)
+		best, bestCost := m.medoids[c], -1.0
+		for _, i := range members {
+			cost := 0.0
+			for _, j := range members {
+				cost += stats.EMD(m.dists[i], m.dists[j])
+			}
+			if bestCost < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		m.medoids[c] = best
+		m.pinned[c] = best
+	}
+}
+
+// rebindJobs pushes the post-migration member lists (and matching demands)
+// into the fleet jobs.
+func (m *Manager) rebindJobs() {
+	for c, name := range m.names {
+		members := m.Members(c)
+		if err := m.fm.SetMembers(name, members); err != nil {
+			panic(fmt.Sprintf("cluster: rebind %s: %v", name, err))
+		}
+		j := m.fm.Job(name)
+		demand := len(members)
+		if j.Cfg.Demand < demand && j.State != fleet.Done {
+			// Grow back toward full membership; a shrink already happened
+			// inside SetMembers. Demand growth can legitimately fail against
+			// the admission budget — keep the clamped demand then.
+			if err := m.fm.SetDemand(name, demand); err != nil {
+				if m.tel != nil {
+					m.tel.Event("cluster_demand_clamped", "job", name, "want", demand,
+						"have", j.Cfg.Demand)
+				}
+			}
+		}
+	}
+}
+
+// Restore rewinds the manager onto a checkpointed assignment: the current
+// assignment, medoids and move counter are replaced and the fleet jobs are
+// rebound. Must run after Bind and before any RunRound.
+func (m *Manager) Restore(assign, medoids []int, moves int, handoff int64) error {
+	if m.fm == nil {
+		return fmt.Errorf("cluster: Restore before Bind")
+	}
+	if len(assign) != len(m.dists) {
+		return fmt.Errorf("cluster: Restore with %d assignments for %d clients", len(assign), len(m.dists))
+	}
+	if len(medoids) != m.K() {
+		return fmt.Errorf("cluster: Restore with %d medoids for %d clusters", len(medoids), m.K())
+	}
+	for i, c := range assign {
+		if c < 0 || c >= m.K() {
+			return fmt.Errorf("cluster: Restore assigns client %d to cluster %d of %d", i, c, m.K())
+		}
+	}
+	copy(m.assign, assign)
+	copy(m.medoids, medoids)
+	copy(m.pinned, medoids)
+	m.moves = moves
+	m.handoff = handoff
+	m.rebindJobs()
+	return nil
+}
+
+// equalInts reports element-wise equality (nil == empty).
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

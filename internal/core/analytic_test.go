@@ -1,0 +1,104 @@
+package core
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"fedmigr/internal/data"
+	"fedmigr/internal/edgenet"
+	"fedmigr/internal/tensor"
+)
+
+func analyticFixture(t *testing.T, workers int) (*AnalyticTrainer, func()) {
+	t.Helper()
+	train, test := data.Synthetic(data.SyntheticConfig{
+		Classes: 10, Channels: 3, Height: 8, Width: 8,
+		PerClass: 16, TestPer: 16, Seed: 5,
+	})
+	g := tensor.NewRNG(9)
+	parts := data.PartitionShards(train, 8, 2, g)
+	clients := make([]*Client, len(parts))
+	for i, p := range parts {
+		clients[i] = &Client{ID: i, Data: p}
+	}
+	topo := edgenet.EvenTopology(len(clients), 2)
+	cost := edgenet.DefaultCostModel()
+	cost.Seed(11)
+	tr, err := NewAnalyticTrainer(AnalyticConfig{
+		Features: 48, Workers: workers, Seed: 21,
+	}, clients, topo, cost, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tr.Close
+}
+
+func TestAnalyticTrainerOneRound(t *testing.T) {
+	tr, done := analyticFixture(t, 1)
+	defer done()
+	res := tr.Run()
+	if res.Rounds != 1 || res.Epochs != 1 || len(res.History) != 1 {
+		t.Fatalf("want exactly one round, got rounds=%d epochs=%d history=%d",
+			res.Rounds, res.Epochs, len(res.History))
+	}
+	if res.FinalAcc < 0.5 {
+		t.Fatalf("analytic solve should separate the synthetic clusters, acc=%.3f", res.FinalAcc)
+	}
+	if res.FinalLoss <= 0 {
+		t.Fatalf("training MSE should be positive, got %v", res.FinalLoss)
+	}
+	if tr.UploadBytes() <= 0 {
+		t.Fatal("upload bytes not charged")
+	}
+	wantPerClient := int64(8 * (49*49 + 49*10))
+	if tr.UploadBytes() != 8*wantPerClient {
+		t.Fatalf("upload bytes %d, want %d", tr.UploadBytes(), 8*wantPerClient)
+	}
+	if tr.Accountant().TotalTraffic() != tr.UploadBytes() {
+		t.Fatalf("accountant traffic %d diverges from upload bytes %d",
+			tr.Accountant().TotalTraffic(), tr.UploadBytes())
+	}
+}
+
+// TestAnalyticWorkerCountInvariance: the solved model must be bit-identical
+// across worker counts — per-client statistics are index-private and the
+// reduction runs through the fixed-shape agg fold tree.
+func TestAnalyticWorkerCountInvariance(t *testing.T) {
+	var digests [][32]byte
+	var accs []float64
+	for _, workers := range []int{1, 4, 8} {
+		tr, done := analyticFixture(t, workers)
+		res := tr.Run()
+		blob, err := tr.GlobalModel().MarshalParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, sha256.Sum256(blob))
+		accs = append(accs, res.FinalAcc)
+		done()
+	}
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] {
+			t.Fatalf("model bits diverge between worker counts (run %d)", i)
+		}
+		if accs[i] != accs[0] {
+			t.Fatalf("accuracy diverges between worker counts: %v vs %v", accs[i], accs[0])
+		}
+	}
+}
+
+func TestAnalyticTrainerValidation(t *testing.T) {
+	_, test := data.Synthetic(data.SyntheticConfig{Classes: 4, PerClass: 4, TestPer: 4, Seed: 1})
+	if _, err := NewAnalyticTrainer(AnalyticConfig{}, nil, nil, nil, test); err == nil {
+		t.Fatal("want error for no clients")
+	}
+	clients := []*Client{{ID: 0, Data: test}}
+	topo := edgenet.EvenTopology(2, 1)
+	if _, err := NewAnalyticTrainer(AnalyticConfig{}, clients, topo, nil, test); err == nil {
+		t.Fatal("want error for topology mismatch")
+	}
+	topo1 := edgenet.EvenTopology(1, 1)
+	if _, err := NewAnalyticTrainer(AnalyticConfig{}, clients, topo1, nil, nil); err == nil {
+		t.Fatal("want error for missing test set")
+	}
+}

@@ -286,6 +286,17 @@ func (t *Trainer) EffectiveDistributions() []stats.Distribution {
 	return out
 }
 
+// ClientDistributions returns a copy of every client's raw label
+// distribution — the clustering key the cluster tier groups and
+// re-evaluates assignments on.
+func (t *Trainer) ClientDistributions() []stats.Distribution {
+	out := make([]stats.Distribution, len(t.clientDist))
+	for i, d := range t.clientDist {
+		out[i] = append(stats.Distribution(nil), d...)
+	}
+	return out
+}
+
 // SetActive marks a client as participating or departed. Models hosted by
 // an inactive client are parked: they neither train nor move until the
 // client returns or a migration relocates them.

@@ -7,7 +7,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	// Every paper artifact must be registered.
-	want := []string{"abl", "async", "div", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab1", "tab2", "tab3"}
+	want := []string{"abl", "async", "cluster", "div", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab1", "tab2", "tab3"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
@@ -126,6 +126,13 @@ func TestFig8Quick(t *testing.T) {
 	rep := runQuick(t, "fig8")
 	if len(rep.Rows) != 3 {
 		t.Fatalf("fig8 rows %d", len(rep.Rows))
+	}
+}
+
+func TestClusterExpQuick(t *testing.T) {
+	rep := runQuick(t, "cluster")
+	if len(rep.Rows) != 3 {
+		t.Fatalf("cluster rows %d", len(rep.Rows))
 	}
 }
 

@@ -30,6 +30,12 @@ func allocJitter(seed int64, round, slotIdx, client int) float64 {
 
 const jitterScale = 1e-6
 
+// forbiddenUtility marks a (slot, client) pair the assignment must avoid:
+// the client is outside the slot's job membership. Large and finite so the
+// Hungarian solver stays numerically well-posed; any assignment that picks
+// one is filtered after solving.
+const forbiddenUtility = -1e18
+
 // clientUtility scores giving one of job j's slots to client c: the
 // negated estimated round latency — local compute over the job's per-client
 // partition plus the model upload over the client's C2S link. Only PURE
@@ -71,6 +77,10 @@ func (m *Manager) allocate(due []*Job, takes []int, active []bool) map[*Job][]in
 	for si, sl := range slots {
 		row := make([]float64, len(clients))
 		for ci, c := range clients {
+			if !sl.job.member(c) {
+				row[ci] = forbiddenUtility
+				continue
+			}
 			row[ci] = m.clientUtility(sl.job, c) + jitterScale*allocJitter(m.cfg.Seed, m.round, si, c)
 		}
 		utility[si] = row
@@ -97,6 +107,9 @@ func (m *Manager) allocate(due []*Job, takes []int, active []bool) map[*Job][]in
 			continue // more slots than active clients: slot unserved
 		}
 		j := slots[si].job
+		if !j.member(clients[ci]) {
+			continue // solver was cornered into a forbidden pair: slot unserved
+		}
 		out[j] = append(out[j], clients[ci])
 	}
 	for _, got := range out {

@@ -46,6 +46,12 @@ type JobConfig struct {
 	// Samples[c] is client c's dataset size for THIS job's partition — the
 	// allocator's compute-time estimate. Nil means uniform.
 	Samples []int
+	// Members restricts the job to a subset of the fleet: when non-nil,
+	// the allocator only ever hands the job clients on this list (kept
+	// sorted ascending). Nil means every client is eligible. Membership is
+	// dynamic — SetMembers rebinds it between rounds, which is how the
+	// cluster tier migrates clients between cluster models.
+	Members []int
 }
 
 // JobState is a job's lifecycle phase.
@@ -96,6 +102,25 @@ type Job struct {
 
 // Name returns the job's configured name.
 func (j *Job) Name() string { return j.Cfg.Name }
+
+// member reports whether client c is eligible for this job. A nil Members
+// list means the whole fleet is; otherwise the sorted list is binary-
+// searched.
+func (j *Job) member(c int) bool {
+	if j.Cfg.Members == nil {
+		return true
+	}
+	lo, hi := 0, len(j.Cfg.Members)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if j.Cfg.Members[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(j.Cfg.Members) && j.Cfg.Members[lo] == c
+}
 
 // Config parameterizes the fleet manager.
 type Config struct {
@@ -245,6 +270,17 @@ func (m *Manager) Submit(cfg JobConfig, tr *core.Trainer) (*Job, error) {
 	if cfg.Samples != nil && len(cfg.Samples) != m.topo.K() {
 		return nil, fmt.Errorf("fleet: job %q has %d sample counts for %d clients", cfg.Name, len(cfg.Samples), m.topo.K())
 	}
+	if cfg.Members != nil {
+		members, err := m.checkMembers(cfg.Name, cfg.Members)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Demand > len(members) {
+			return nil, fmt.Errorf("fleet: job %q demands %d clients but has only %d members",
+				cfg.Name, cfg.Demand, len(members))
+		}
+		cfg.Members = members
+	}
 	if cfg.Weight <= 0 {
 		cfg.Weight = 1
 	}
@@ -275,6 +311,79 @@ func (m *Manager) Submit(cfg JobConfig, tr *core.Trainer) (*Job, error) {
 	}
 	m.updateGauges()
 	return j, nil
+}
+
+// checkMembers validates a member list against the fleet and returns a
+// sorted defensive copy with duplicates rejected.
+func (m *Manager) checkMembers(job string, members []int) ([]int, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: job %q has an empty member list (nil means the whole fleet)", job)
+	}
+	out := append([]int(nil), members...)
+	sortInts(out)
+	for i, c := range out {
+		if c < 0 || c >= m.topo.K() {
+			return nil, fmt.Errorf("fleet: job %q member %d out of range [0,%d)", job, c, m.topo.K())
+		}
+		if i > 0 && out[i-1] == c {
+			return nil, fmt.Errorf("fleet: job %q lists member %d twice", job, c)
+		}
+	}
+	return out, nil
+}
+
+// SetMembers rebinds a job's member set between rounds — the dynamic-
+// membership hook the cluster tier uses to migrate clients between cluster
+// models. members nil re-opens the job to the whole fleet; a non-nil list
+// is validated, copied and sorted. When the new list is smaller than the
+// job's Demand the demand is clamped down (a job cannot want more clients
+// than it may touch); use SetDemand to grow it again after the membership
+// expands.
+func (m *Manager) SetMembers(name string, members []int) error {
+	j := m.Job(name)
+	if j == nil {
+		return fmt.Errorf("fleet: SetMembers on unknown job %q", name)
+	}
+	if members == nil {
+		j.Cfg.Members = nil
+		return nil
+	}
+	checked, err := m.checkMembers(name, members)
+	if err != nil {
+		return err
+	}
+	j.Cfg.Members = checked
+	if j.Cfg.Demand > len(checked) {
+		j.Cfg.Demand = len(checked)
+	}
+	return nil
+}
+
+// SetDemand resizes a job's per-round client demand between rounds. The
+// new demand must fit the member list, the fleet, and — for running jobs —
+// the hydrated-replica admission budget with the job's old demand released.
+func (m *Manager) SetDemand(name string, demand int) error {
+	j := m.Job(name)
+	if j == nil {
+		return fmt.Errorf("fleet: SetDemand on unknown job %q", name)
+	}
+	if demand <= 0 {
+		return fmt.Errorf("fleet: job %q demand %d, want > 0", name, demand)
+	}
+	if demand > m.topo.K() {
+		return fmt.Errorf("fleet: job %q demands %d clients, fleet has %d", name, demand, m.topo.K())
+	}
+	if j.Cfg.Members != nil && demand > len(j.Cfg.Members) {
+		return fmt.Errorf("fleet: job %q demands %d clients but has only %d members",
+			name, demand, len(j.Cfg.Members))
+	}
+	if m.cfg.MaxHydrated > 0 && j.State == Running &&
+		m.runningDemand()-j.Cfg.Demand+demand > m.cfg.MaxHydrated {
+		return fmt.Errorf("fleet: job %q demand %d exceeds hydrated-replica budget %d",
+			name, demand, m.cfg.MaxHydrated)
+	}
+	j.Cfg.Demand = demand
+	return nil
 }
 
 // promote moves queued jobs into Running, in submission order, while the

@@ -52,16 +52,34 @@ func (m *Manager) RunRound() int {
 	// Scarcity scaling: when the active fleet cannot cover total demand,
 	// deal clients round-robin starting at a round-rotated job so every due
 	// job is served at least once every few rounds and none starves
-	// permanently. With enough clients every job takes its full demand.
+	// permanently. With enough clients every job takes its full demand. A
+	// job's take is additionally capped by its ACTIVE member count —
+	// membership-restricted jobs must not soak up budget for slots only
+	// other jobs' clients could fill.
 	takes := make([]int, len(due))
 	if len(due) > 0 {
+		caps := make([]int, len(due))
+		for i, j := range due {
+			caps[i] = j.Cfg.Demand
+			if j.Cfg.Members != nil {
+				avail := 0
+				for _, c := range j.Cfg.Members {
+					if active[c] {
+						avail++
+					}
+				}
+				if avail < caps[i] {
+					caps[i] = avail
+				}
+			}
+		}
 		budget := activeCount
 		start := m.round % len(due)
 		for more := true; more && budget > 0; {
 			more = false
 			for i := 0; i < len(due) && budget > 0; i++ {
 				ji := (start + i) % len(due)
-				if takes[ji] < due[ji].Cfg.Demand {
+				if takes[ji] < caps[ji] {
 					takes[ji]++
 					budget--
 					more = true

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedmigr/internal/tensor"
+)
+
+// TestPairwiseEMDSymmetryProperty checks, over random distribution sets,
+// the matrix axioms the cluster tier depends on: D is symmetric with a
+// zero diagonal, and every entry agrees with a direct EMD call.
+func TestPairwiseEMDSymmetryProperty(t *testing.T) {
+	prop := func(seed int64, kRaw, cRaw uint8) bool {
+		k := int(kRaw)%12 + 1
+		classes := int(cRaw)%10 + 2
+		g := tensor.NewRNG(seed)
+		dists := make([]Distribution, k)
+		for i := range dists {
+			dists[i] = randDist(g, classes)
+		}
+		d := PairwiseEMD(dists)
+		for i := 0; i < k; i++ {
+			if d[i][i] != 0 {
+				return false
+			}
+			for j := 0; j < k; j++ {
+				if d[i][j] != d[j][i] {
+					return false
+				}
+				if math.Abs(d[i][j]-EMD(dists[i], dists[j])) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPairwiseEMDFlatBacking pins the single-allocation layout: all K rows
+// must be consecutive windows of one backing slice.
+func TestPairwiseEMDFlatBacking(t *testing.T) {
+	g := tensor.NewRNG(7)
+	dists := make([]Distribution, 5)
+	for i := range dists {
+		dists[i] = randDist(g, 4)
+	}
+	d := PairwiseEMD(dists)
+	for i := 1; i < len(d); i++ {
+		// Reslicing row i-1 one element past its length must land exactly on
+		// row i's first element — only true when the rows are consecutive
+		// windows of one shared backing array.
+		ext := d[i-1][:len(d[i-1])+1]
+		if &ext[len(ext)-1] != &d[i][0] {
+			t.Fatalf("row %d does not follow row %d in one backing slice", i, i-1)
+		}
+	}
+}
+
+func BenchmarkPairwiseEMD(b *testing.B) {
+	for _, k := range []int{10, 100, 500} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			g := tensor.NewRNG(3)
+			dists := make([]Distribution, k)
+			for i := range dists {
+				dists[i] = randDist(g, 10)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := PairwiseEMD(dists)
+				if d[0][0] != 0 {
+					b.Fatal("bad matrix")
+				}
+			}
+		})
+	}
+}
+
+func sizeName(k int) string {
+	switch k {
+	case 10:
+		return "k=10"
+	case 100:
+		return "k=100"
+	default:
+		return "k=500"
+	}
+}

@@ -104,12 +104,17 @@ func Entropy(d Distribution) float64 {
 }
 
 // PairwiseEMD returns the K×K symmetric matrix D of EMDs between client
-// label distributions — the D_t component of the DRL state (Sec. III-C).
+// label distributions — the D_t component of the DRL state (Sec. III-C)
+// and the distance matrix the cluster tier's k-medoids runs on. The K rows
+// are views into one flat K×K backing slice (a single allocation instead
+// of K row allocations, and cache-contiguous for the row scans clustering
+// does).
 func PairwiseEMD(dists []Distribution) [][]float64 {
 	k := len(dists)
 	d := make([][]float64, k)
+	flat := make([]float64, k*k)
 	for i := range d {
-		d[i] = make([]float64, k)
+		d[i] = flat[i*k : (i+1)*k]
 	}
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {

@@ -220,3 +220,74 @@ awk '
 END { printf "\n]\n" }' "$tmp" > "$churn_out"
 
 echo "bench.sh: wrote $churn_out ($(grep -c '"joiners"' "$churn_out") records)"
+
+# ---- clustered-federation sweep -> BENCH_cluster.json -----------------
+# Sweeps clusters 1/2/4/8 x clients 100/1000 on a LAN-correlated workload
+# with 8 latent label groups, recording rounds-to-target (routed accuracy
+# 0.7, -1 = not reached in the 30-round budget) and total upload bytes.
+# The headline shape: as the cluster count approaches the latent group
+# count, rounds-to-target collapses — one global model (clusters=1) burns
+# the whole budget reconciling 8 label distributions that per-group models
+# fit in a round or two. Then records the one-shot analytic baseline and
+# an iterative FedMigr run at each fleet size; the analytic record carries
+# saving_vs_fedmigr = FedMigr's total traffic over the analytic upload —
+# the communication price of iterating at all on this workload.
+cluster_out="BENCH_cluster.json"
+cluster_target=0.7
+: > "$tmp"
+for k in 100 1000; do
+    case "$k" in
+    100)  pc=100 ;;
+    1000) pc=300 ;;
+    esac
+    clusterflags="-partition lan -clients $k -lans 8 -perclass $pc \
+        -scheme fedavg -agg 1 -batch 8 -cohort 16 -seed 5 -quiet"
+    for c in 1 2 4 8; do
+        line=$("$simbin" -clusters "$c" -cluster-rounds 30 \
+            -target "$cluster_target" $clusterflags | grep '^clustered:')
+        echo "clustered $c $k $line"
+    done
+    aline=$("$simbin" -analytic $clusterflags | grep '^analytic:')
+    echo "analytic 0 $k $aline"
+    mrun=$("$simbin" -scheme fedmigr -migrator greedy -partition lan \
+        -clients "$k" -lans 8 -perclass "$pc" -epochs 30 -batch 8 \
+        -cohort 16 -target "$cluster_target" -seed 5 -quiet)
+    mbytes=$(printf '%s\n' "$mrun" | sed -n 's/^traffic: total=\([0-9.]*\)MB.*/\1/p')
+    macc=$(printf '%s\n' "$mrun" | sed -n 's/.*final_acc=\([0-9.]*\).*/\1/p')
+    echo "fedmigr 0 $k total_mb=${mbytes:-0} acc=${macc:-0}"
+done | tee -a "$tmp"
+
+# Records are buffered and printed in END so the analytic records can
+# carry the saving ratio against the FedMigr run parsed later.
+awk -v target="$cluster_target" '
+{
+    for (i = 4; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    if ($1 == "clustered") {
+        n++
+        rec[n] = sprintf("{\"mode\": \"clustered\", \"clusters\": %d, \"clients\": %d, \"target_acc\": %s, \"rounds_to_target\": %s, \"rounds\": %s, \"routed_acc\": %s, \"total_bytes\": %s, \"handoff_bytes\": %s}", \
+            $2, $3, target, v["rounds_to_target"], v["rounds"], v["routed_acc"], v["total_bytes"], v["handoff_bytes"])
+    } else if ($1 == "analytic") {
+        n++
+        rec[n] = sprintf("{\"mode\": \"analytic\", \"clients\": %d, \"rounds\": 1, \"acc\": %s, \"upload_bytes\": %s", $3, v["acc"], v["upload_bytes"])
+        ak[n] = $3                       # patched with the saving in END
+        ab[$3] = v["upload_bytes"]
+    } else if ($1 == "fedmigr") {
+        n++
+        rec[n] = sprintf("{\"mode\": \"fedmigr\", \"clients\": %d, \"acc\": %s, \"total_bytes\": %.0f}", $3, v["acc"], v["total_mb"] * 1e6)
+        fb[$3] = v["total_mb"] * 1e6
+    }
+    delete v
+}
+END {
+    printf "[\n"
+    for (i = 1; i <= n; i++) {
+        if (i in ak) {
+            saving = (ab[ak[i]] > 0) ? fb[ak[i]] / ab[ak[i]] : 0
+            rec[i] = rec[i] sprintf(", \"saving_vs_fedmigr\": %.2f}", saving)
+        }
+        printf "  %s%s\n", rec[i], (i < n ? "," : "")
+    }
+    printf "]\n"
+}' "$tmp" > "$cluster_out"
+
+echo "bench.sh: wrote $cluster_out ($(grep -c '"mode"' "$cluster_out") records)"

@@ -31,6 +31,13 @@ go test -race -run 'Parity|WorkerCountInvariance|ParallelRunMatchesSerial' ./int
 # over a shared 1000-client fleet must produce bit-identical per-job
 # models at 1 and 8 workers, streaming or buffered aggregation.
 go test -race -run 'TestFleetWorkerInvariance1k' .
+# Clustered-federation determinism under the race detector: the EMD
+# clustering must recover the latent LAN grouping exactly and beat the
+# single-global-model baseline, and both the clustered and one-shot
+# analytic paths must be bit-identical at 1 vs 8 workers, streaming or
+# buffered aggregation.
+go test -race -run 'TestClusteredWorkerInvariance|TestClusteredRecovery' .
+go test -race -run 'TestAnalyticWorkerCountInvariance' ./internal/core
 # Dynamic-membership chaos under the race detector: 8 founding clients,
 # two mid-session joins with warm handoff, one graceful leave whose
 # in-flight TrainState is adopted by a survivor, and one crash — the
