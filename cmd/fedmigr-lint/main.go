@@ -2,16 +2,26 @@
 // (internal/analysis/analyzers) over Go package patterns and exits
 // non-zero on findings, making the runtime's hand-written invariants —
 // determinism zones, lock discipline, error handling, telemetry naming,
-// float comparison hygiene — build-time checks instead of flaky test
-// failures.
+// float comparison hygiene, goroutine lifecycle, kernel allocation
+// discipline and wire-protocol exhaustiveness — build-time checks
+// instead of flaky test failures. The engine is interprocedural: facts
+// (impurity, blocking, completion signals) propagate bottom-up through
+// the whole-module call graph, so a violation is caught through any call
+// chain into a zone and reported with that chain.
 //
 // Usage:
 //
-//	fedmigr-lint [-json] [-only a,b] [-list] [patterns...]
+//	fedmigr-lint [-json] [-sarif out.sarif] [-only a,b] [-all-zones]
+//	             [-cache-dir dir] [-no-cache] [-list] [patterns...]
 //
 // Patterns default to ./... and follow go-tool shape ("./...",
 // "./internal/fednet", "./internal/..."); testdata and vendor trees are
 // always pruned. Exit codes: 0 clean, 1 findings, 2 usage or load error.
+//
+// Runs are incremental: per-package facts and findings are cached under
+// -cache-dir (default <module>/.lintcache), keyed by source hashes
+// chained through the import graph, so a warm run on an unchanged tree
+// loads nothing. -no-cache forces a cold run.
 //
 // Findings can be suppressed in place, one line at a time, with
 //
@@ -26,10 +36,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 
 	"fedmigr/internal/analysis"
 	"fedmigr/internal/analysis/analyzers"
+	"fedmigr/internal/sched"
 )
 
 func main() {
@@ -40,9 +53,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fedmigr-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (one finding per line)")
+	sarifOut := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	allZones := fs.Bool("all-zones", false, "disable package-path gating: run every analyzer on every package")
+	cacheDir := fs.String("cache-dir", "", "incremental cache directory (default <module>/.lintcache)")
+	noCache := fs.Bool("no-cache", false, "disable the incremental cache")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
-	verbose := fs.Bool("v", false, "also print soft type-check errors to stderr")
+	verbose := fs.Bool("v", false, "print cache statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,21 +94,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	loader := analysis.NewLoader()
-	pkgs, err := loader.Load(patterns)
+
+	dir := *cacheDir
+	if dir == "" && !*noCache {
+		root, err := analysis.ModuleRoot(".")
+		if err != nil {
+			fmt.Fprintf(stderr, "fedmigr-lint: %v\n", err)
+			return 2
+		}
+		dir = filepath.Join(root, ".lintcache")
+	}
+	if *noCache {
+		dir = ""
+	}
+
+	pool := sched.New(runtime.NumCPU())
+	defer pool.Close()
+	res, err := analysis.Lint(patterns, regs, analysis.Options{
+		CacheDir: dir,
+		Loader:   analysis.NewLoader().WithPool(pool),
+		AllZones: *allZones,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "fedmigr-lint: %v\n", err)
 		return 2
 	}
 	if *verbose {
-		for _, p := range pkgs {
-			for _, te := range p.TypeErrors {
-				fmt.Fprintf(stderr, "fedmigr-lint: typecheck %s: %v\n", p.ImportPath, te)
-			}
-		}
+		fmt.Fprintf(stderr, "fedmigr-lint: %d package(s): %d loaded, %d from cache\n",
+			res.Stats.Packages, res.Stats.Loaded, res.Stats.Cached)
 	}
 
-	diags := analysis.Run(pkgs, regs)
+	diags := res.Diags
+	if *sarifOut != "" {
+		root, _ := analysis.ModuleRoot(".")
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "fedmigr-lint: %v\n", err)
+			return 2
+		}
+		werr := analysis.WriteSARIF(f, diags, regs, root)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "fedmigr-lint: sarif: %v\n", werr)
+			return 2
+		}
+	}
 	if *jsonOut {
 		if err := analysis.WriteJSON(stdout, diags); err != nil {
 			fmt.Fprintf(stderr, "fedmigr-lint: %v\n", err)
@@ -103,7 +152,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "fedmigr-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(stderr, "fedmigr-lint: %d finding(s) in %d package(s)\n", len(diags), res.Stats.Packages)
 		return 1
 	}
 	return 0

@@ -133,9 +133,147 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "lockcheck", "errcheck", "telemetrynames", "floatcmp"} {
+	for _, name := range []string{
+		"determinism", "lockcheck", "errcheck", "telemetrynames", "floatcmp",
+		"goroutineleak", "hotalloc", "wireexhaustive",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// interprocFiles is a module where the in-zone package's impurity is two
+// calls deep through helper packages outside every zone.
+func interprocFiles() map[string]string {
+	return map[string]string{
+		"internal/core/step.go": `package core
+
+import "fedmigr/internal/timeutil"
+
+func Step() int64 { return timeutil.Stamp() }
+`,
+		"internal/timeutil/timeutil.go": `package timeutil
+
+import "fedmigr/internal/clockutil"
+
+func Stamp() int64 { return clockutil.Read() }
+`,
+		"internal/clockutil/clockutil.go": `package clockutil
+
+import "time"
+
+func Read() int64 { return time.Now().UnixNano() }
+`,
+	}
+}
+
+// TestRunInterprocChain is the CLI half of the acceptance criterion: a
+// zone function whose wall-clock read is two helper packages away is
+// flagged with the full call chain, and fixing the leaf helper (only)
+// turns the identical invocation clean.
+func TestRunInterprocChain(t *testing.T) {
+	root := writeModule(t, interprocFiles())
+	t.Chdir(root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "call chain:") {
+		t.Errorf("finding lacks a call chain:\n%s", out)
+	}
+	for _, hop := range []string{"timeutil.Stamp", "clockutil.Read", "time.Now"} {
+		if !strings.Contains(out, hop) {
+			t.Errorf("call chain missing hop %q:\n%s", hop, out)
+		}
+	}
+
+	// Fix the leaf; the cached entries for core and timeutil must be
+	// invalidated through the chained dependency keys.
+	pure := "package clockutil\n\nfunc Read() int64 { return 42 }\n"
+	if err := os.WriteFile(filepath.Join(root, "internal/clockutil/clockutil.go"), []byte(pure), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit after fixing helper = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestRunWarmCache asserts the -v stats prove a warm rerun loads nothing
+// and reports the same findings.
+func TestRunWarmCache(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/core/bad.go": dirtyCore,
+	})
+	t.Chdir(root)
+	cacheDir := filepath.Join(root, "cache")
+	var out1, err1 bytes.Buffer
+	if code := run([]string{"-v", "-cache-dir", cacheDir, "./..."}, &out1, &err1); code != 1 {
+		t.Fatalf("cold exit = %d, want 1; stderr: %s", code, err1.String())
+	}
+	if !strings.Contains(err1.String(), "0 from cache") {
+		t.Errorf("cold stats should report 0 from cache: %s", err1.String())
+	}
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-v", "-cache-dir", cacheDir, "./..."}, &out2, &err2); code != 1 {
+		t.Fatalf("warm exit = %d, want 1; stderr: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "0 loaded") {
+		t.Errorf("warm stats should report 0 loaded: %s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("warm findings differ from cold:\ncold: %s\nwarm: %s", out1.String(), out2.String())
+	}
+}
+
+// TestRunSARIF checks -sarif writes a parseable SARIF 2.1.0 log with the
+// finding bound to a repository-relative path.
+func TestRunSARIF(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/core/bad.go": dirtyCore,
+	})
+	t.Chdir(root)
+	sarifPath := filepath.Join(root, "lint.sarif")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", sarifPath, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	b, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, b)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("SARIF log has no results: %s", b)
+	}
+	r := log.Runs[0].Results[0]
+	if r.RuleID != "determinism" {
+		t.Errorf("ruleId = %q, want determinism", r.RuleID)
+	}
+	if uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/core/bad.go" {
+		t.Errorf("uri = %q, want module-relative internal/core/bad.go", uri)
 	}
 }

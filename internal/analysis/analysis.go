@@ -1,7 +1,10 @@
 // Package analysis is a stdlib-only static-analysis framework for this
-// repository: a small Pass/Diagnostic/Analyzer core on go/parser, go/ast
-// and go/types, a module-aware package loader, //lint:ignore suppression
-// comments, and machine-readable JSON findings.
+// repository: a Pass/Diagnostic/Analyzer core on go/parser, go/ast and
+// go/types, a module-aware package loader, an interprocedural fact engine
+// (callgraph.go, facts.go) that propagates impurity/blocking/signal facts
+// bottom-up through the whole-module call graph, an incremental
+// per-package fact cache (cache.go), //lint:ignore suppression comments,
+// and machine-readable JSON and SARIF findings.
 //
 // It exists because the runtime's correctness rests on invariants the
 // compiler cannot see — bit-identical parallel reduction needs every
@@ -34,37 +37,72 @@ type Analyzer struct {
 }
 
 // A Pass carries one (analyzer, package) execution: the loaded syntax and
-// type information plus the reporting sink.
+// type information, the module-wide fact set, and the reporting sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Facts holds the interprocedural facts propagated over every package
+	// in the lint run (plus cached facts of unchanged packages), keyed by
+	// qualified function id — see FuncID. Analyzers consult it to see
+	// through call chains; it is never nil.
+	Facts *FactSet
+	// AllZones disables package-path gating: every analyzer treats the
+	// package as in-zone. The self-lint gate in scripts/check.sh uses it
+	// to hold internal/analysis itself to the errcheck/lockcheck bar.
+	AllZones bool
 	diags    *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, "", 0, format, args...)
+}
+
+// ReportChainf records a finding at pos that was established through a
+// call chain: chain is the rendered path from the reported call site down
+// to the leaf operation, and depth counts its hops (1 = the callee itself
+// is the leaf). Direct findings use Reportf (depth 0, no chain).
+func (p *Pass) ReportChainf(pos token.Pos, chain string, depth int, format string, args ...any) {
+	p.report(pos, chain, depth, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, chain string, depth int, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Package:  p.Pkg.ImportPath,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+		Depth:    depth,
 	})
 }
 
 // A Diagnostic is one finding with a stable, machine-readable shape (the
-// JSON field names are the -json output schema).
+// JSON field names are the -json output schema). Chain and Depth are set
+// only on interprocedural findings: Chain is the rendered call path from
+// the reported site to the leaf operation ("a -> b -> time.Now (f.go:3)")
+// and Depth counts its hops, so scripts/lint-report.sh can break findings
+// down by how deep the engine had to look.
 type Diagnostic struct {
 	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+	Chain    string `json:"chain,omitempty"`
+	Depth    int    `json:"depth,omitempty"`
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+	s := fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+	if d.Chain != "" {
+		s += "\n\tcall chain: " + d.Chain
+	}
+	return s
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -76,40 +114,106 @@ type ignoreDirective struct {
 	malformed string // non-empty when the directive itself is invalid
 }
 
-const ignorePrefix = "//lint:ignore "
+const ignorePrefix = "//lint:ignore"
 
-// parseIgnores extracts every //lint:ignore directive from a file.
-// The accepted form is
+// knownNames holds every registered analyzer name. The analyzers package
+// registers its full set in init, so any binary that links the real
+// analyzers parses directives against the authoritative name list.
+var knownNames = map[string]bool{}
+
+// RegisterAnalyzerName records an analyzer name for directive parsing.
+// The grammar `//lint:ignore a, b reason` is ambiguous at the token
+// level — after a comma, a bare word can open the reason (trailing
+// comma) or extend the list. A word joins the list only while it names a
+// registered analyzer, which resolves the ambiguity the way the author
+// meant it. With no registrations the parser falls back to greedy
+// binding.
+func RegisterAnalyzerName(name string) { knownNames[name] = true }
+
+// parseIgnoreText parses the text of one //lint:ignore comment into a
+// directive. The accepted grammar is
 //
-//	//lint:ignore analyzer1[,analyzer2...] reason text
+//	//lint:ignore analyzer1[ , analyzer2 ...][,] reason text
 //
-// and the directive suppresses matching findings reported on its own line
+// i.e. a comma-separated analyzer list — whitespace around commas and a
+// single trailing comma are tolerated — followed by a mandatory free-form
+// reason. A missing reason or empty analyzer list is itself a lint error:
+// silent suppressions are exactly what the directive log is meant to
+// prevent. The bool result is false when the comment is not a directive
+// at all (no //lint:ignore prefix followed by a space).
+func parseIgnoreText(text string) (ignoreDirective, bool) {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return ignoreDirective{}, false
+	}
+	var d ignoreDirective
+	if rest == "" || strings.TrimSpace(rest) == "" {
+		d.malformed = "missing analyzer name: use //lint:ignore <analyzer> <reason>"
+		return d, true
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		// //lint:ignoreXYZ is some other (unknown) directive, not ours.
+		return ignoreDirective{}, false
+	}
+	rest = strings.TrimSpace(rest)
+	name, tail := cutIdent(rest)
+	if name == "" {
+		d.malformed = "malformed analyzer list: use //lint:ignore <a>[,<b>] <reason>"
+		return d, true
+	}
+	d.analyzers = append(d.analyzers, name)
+	for {
+		t := strings.TrimLeft(tail, " \t")
+		if !strings.HasPrefix(t, ",") {
+			tail = t
+			break
+		}
+		t = strings.TrimLeft(t[1:], " \t")
+		if strings.HasPrefix(t, ",") {
+			d.malformed = "malformed analyzer list: use //lint:ignore <a>[,<b>] <reason>"
+			return d, true
+		}
+		name, after := cutIdent(t)
+		if name == "" || (len(knownNames) > 0 && !knownNames[name]) {
+			// Trailing comma: the next word opens the reason.
+			tail = t
+			break
+		}
+		d.analyzers = append(d.analyzers, name)
+		tail = after
+	}
+	d.reason = strings.TrimSpace(tail)
+	if d.reason == "" {
+		d.malformed = "missing reason: use //lint:ignore <analyzer> <reason>"
+	}
+	return d, true
+}
+
+// cutIdent splits the leading analyzer identifier off s.
+func cutIdent(s string) (ident, rest string) {
+	i := 0
+	for i < len(s) && (s[i] == '_' || s[i] == '-' ||
+		'a' <= s[i] && s[i] <= 'z' || 'A' <= s[i] && s[i] <= 'Z' ||
+		'0' <= s[i] && s[i] <= '9') {
+		i++
+	}
+	return s[:i], s[i:]
+}
+
+// parseIgnores extracts every //lint:ignore directive from a file. A
+// directive suppresses matching findings reported on its own line
 // (trailing comment) or on the line immediately below (standalone
-// comment). A missing reason is itself a lint error: silent suppressions
-// are exactly what the directive log is meant to prevent.
+// comment).
 func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
 	var out []ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, ignorePrefix) {
+			d, ok := parseIgnoreText(c.Text)
+			if !ok {
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			d := ignoreDirective{file: pos.Filename, line: pos.Line}
-			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-			names, reason, ok := strings.Cut(rest, " ")
-			if !ok || strings.TrimSpace(reason) == "" {
-				d.malformed = "missing reason: use //lint:ignore <analyzer> <reason>"
-			}
-			for _, n := range strings.Split(names, ",") {
-				if n = strings.TrimSpace(n); n != "" {
-					d.analyzers = append(d.analyzers, n)
-				}
-			}
-			if len(d.analyzers) == 0 {
-				d.malformed = "missing analyzer name: use //lint:ignore <analyzer> <reason>"
-			}
-			d.reason = strings.TrimSpace(reason)
+			d.file, d.line = pos.Filename, pos.Line
 			out = append(out, d)
 		}
 	}
@@ -133,44 +237,45 @@ func (d ignoreDirective) suppresses(analyzer, file string, line int) bool {
 	return false
 }
 
-// Run executes every analyzer over every package and returns the
-// surviving findings sorted by file, line, column and analyzer.
-// //lint:ignore directives filter matching findings; a malformed
-// directive is reported as a finding of the built-in "lint" pseudo-
-// analyzer so broken suppressions cannot silently pass.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// runOne executes every analyzer over one package with the given facts
+// and returns the surviving findings: //lint:ignore directives in the
+// package filter matching findings, and a malformed directive is reported
+// as a finding of the built-in "lint" pseudo-analyzer so broken
+// suppressions cannot silently pass. The result is unsorted; callers
+// merge and sort across packages.
+func runOne(pkg *Package, analyzers []*Analyzer, facts *FactSet, allZones bool) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
-		}
+	for _, a := range analyzers {
+		a.Run(&Pass{Analyzer: a, Pkg: pkg, Facts: facts, AllZones: allZones, diags: &diags})
 	}
 	var kept []Diagnostic
 	for _, d := range diags {
 		suppressed := false
-		for _, pkg := range pkgs {
-			for _, ig := range pkg.ignores {
-				if ig.suppresses(d.Analyzer, d.File, d.Line) {
-					suppressed = true
-				}
+		for _, ig := range pkg.ignores {
+			if ig.suppresses(d.Analyzer, d.File, d.Line) {
+				suppressed = true
 			}
 		}
 		if !suppressed {
 			kept = append(kept, d)
 		}
 	}
-	for _, pkg := range pkgs {
-		for _, ig := range pkg.ignores {
-			if ig.malformed != "" {
-				kept = append(kept, Diagnostic{
-					Analyzer: "lint", File: ig.file, Line: ig.line, Col: 1,
-					Message: ig.malformed,
-				})
-			}
+	for _, ig := range pkg.ignores {
+		if ig.malformed != "" {
+			kept = append(kept, Diagnostic{
+				Analyzer: "lint", Package: pkg.ImportPath,
+				File: ig.file, Line: ig.line, Col: 1,
+				Message: ig.malformed,
+			})
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	return kept
+}
+
+// sortDiags orders findings by file, line, column and analyzer.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -182,5 +287,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving findings sorted by file, line, column and analyzer.
+// Interprocedural facts are computed over exactly the packages passed in
+// (the fedmigr-lint CLI passes the whole module, so facts span every
+// in-module call chain; tests pass fixture sets).
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := ComputeFacts(pkgs, nil, DefaultFactConfig())
+	var kept []Diagnostic
+	for _, pkg := range pkgs {
+		kept = append(kept, runOne(pkg, analyzers, facts, false)...)
+	}
+	sortDiags(kept)
 	return kept
 }

@@ -11,6 +11,15 @@ import (
 	"fedmigr/internal/analysis"
 )
 
+// init publishes the analyzer names to the directive parser: the
+// //lint:ignore grammar uses the registered-name set to tell a list
+// continuation from a trailing comma that opens the reason.
+func init() {
+	for _, a := range All() {
+		analysis.RegisterAnalyzerName(a.Name)
+	}
+}
+
 // All returns the full analyzer registry in the order fedmigr-lint runs
 // them.
 func All() []*analysis.Analyzer {
@@ -20,6 +29,9 @@ func All() []*analysis.Analyzer {
 		ErrCheck,
 		TelemetryNames,
 		FloatCmp,
+		GoroutineLeak,
+		HotAlloc,
+		WireExhaustive,
 	}
 }
 
@@ -44,8 +56,12 @@ func objPkgPath(obj types.Object) string {
 	return obj.Pkg().Path()
 }
 
-// inPackages reports whether the pass's package is one of paths.
+// inPackages reports whether the pass's package is one of paths. A pass
+// with AllZones set (the self-lint gate) treats every package as in-zone.
 func inPackages(pass *analysis.Pass, paths []string) bool {
+	if pass.AllZones {
+		return true
+	}
 	for _, p := range paths {
 		if pass.Pkg.ImportPath == p {
 			return true
@@ -54,30 +70,14 @@ func inPackages(pass *analysis.Pass, paths []string) bool {
 	return false
 }
 
-// implementsIface reports whether t (or *t) implements the named
-// interface from the dependency package at path — e.g. net.Conn. It
-// degrades to false when the package or name cannot be resolved, so
-// analyzers fail open rather than crash on partial type information.
-func implementsIface(pass *analysis.Pass, t types.Type, path, name string) bool {
-	if t == nil {
-		return false
+// pathIn reports whether an import path is one of paths.
+func pathIn(path string, paths []string) bool {
+	for _, p := range paths {
+		if path == p {
+			return true
+		}
 	}
-	dep := pass.Pkg.Dep(path)
-	if dep == nil {
-		return false
-	}
-	obj := dep.Scope().Lookup(name)
-	if obj == nil {
-		return false
-	}
-	iface, ok := obj.Type().Underlying().(*types.Interface)
-	if !ok {
-		return false
-	}
-	if types.Implements(t, iface) {
-		return true
-	}
-	return types.Implements(types.NewPointer(t), iface)
+	return false
 }
 
 // enclosingFuncs returns, for each file, a function that maps a node's

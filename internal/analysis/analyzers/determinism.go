@@ -2,7 +2,6 @@ package analyzers
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"fedmigr/internal/analysis"
@@ -31,28 +30,20 @@ var deterministicZones = []string{
 	"fedmigr/internal/cluster",
 }
 
-// seededRandCtors are the math/rand entry points that take an explicit
-// source or are pure constructors — the only ones deterministic code may
-// touch. Everything else on the package (Intn, Float64, Perm, Shuffle,
-// Seed, ...) consumes the process-global generator.
-var seededRandCtors = map[string]bool{
-	"New":        true,
-	"NewSource":  true,
-	"NewZipf":    true, // takes a *Rand explicitly
-	"NewPCG":     true, // math/rand/v2 seeded source
-	"NewChaCha8": true,
-}
-
 // Determinism forbids wall-clock reads (time.Now/Since/Until), global
 // math/rand use, and map iterations that feed order-sensitive reductions
-// inside the deterministic zones. Timing that only feeds telemetry must
-// go through the injected clock telemetry.Now/telemetry.Since — the
-// sanctioned allowlist for wall-clock measurement — and stochasticity
-// through seeded tensor.RNG streams.
+// inside the deterministic zones — directly, and transitively: a call
+// into any helper whose dynamic extent reaches one of those operations is
+// reported with the full call chain, courtesy of the interprocedural fact
+// engine. Timing that only feeds telemetry must go through the injected
+// clock telemetry.Now/telemetry.Since — the sanctioned allowlist for
+// wall-clock measurement — and stochasticity through seeded tensor.RNG
+// streams.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbids time.Now/time.Since, global math/rand, and map-order-dependent " +
-		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg, fleet, faults, cluster); " +
+		"reductions in the deterministic zones (core, tensor, nn, drl, sched, agg, fleet, faults, cluster), " +
+		"including transitively through any call chain; " +
 		"telemetry timing must use the injected telemetry.Now/Since clock",
 	Run: runDeterminism,
 }
@@ -76,28 +67,38 @@ func runDeterminism(pass *analysis.Pass) {
 
 func checkDeterministicCall(pass *analysis.Pass, call *ast.CallExpr) {
 	obj := callee(pass, call)
-	if obj == nil {
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
 		return
 	}
-	switch objPkgPath(obj) {
-	case "time":
-		switch obj.Name() {
-		case "Now", "Since", "Until":
-			pass.Reportf(call.Pos(),
-				"wall clock time.%s in deterministic zone: route telemetry timing through telemetry.Now/telemetry.Since (the injected clock) or thread the value in from the caller",
-				obj.Name())
-		}
-	case "math/rand", "math/rand/v2":
+	if analysis.WallClockFunc(fn) {
+		pass.Reportf(call.Pos(),
+			"wall clock time.%s in deterministic zone: route telemetry timing through telemetry.Now/telemetry.Since (the injected clock) or thread the value in from the caller",
+			fn.Name())
+		return
+	}
+	if analysis.GlobalRandFunc(fn) {
 		// Methods on a *rand.Rand instance are fine — those generators are
 		// explicitly seeded (tensor.RNG wraps one). Only the package-level
 		// functions consume the shared global stream.
-		fn, isFunc := obj.(*types.Func)
-		if isFunc && fn.Type().(*types.Signature).Recv() == nil && !seededRandCtors[obj.Name()] {
-			pass.Reportf(call.Pos(),
-				"global math/rand %s in deterministic zone: use a seeded tensor.RNG stream (e.g. tensor.NewRNG) so results are reproducible and worker-count independent",
-				obj.Name())
-		}
+		pass.Reportf(call.Pos(),
+			"global math/rand %s in deterministic zone: use a seeded tensor.RNG stream (e.g. tensor.NewRNG) so results are reproducible and worker-count independent",
+			fn.Name())
+		return
 	}
+	// Interprocedural: the callee is not itself a forbidden leaf, but its
+	// dynamic extent reaches one. Callees inside a deterministic zone are
+	// skipped — the leaf is reported directly in their own package, and
+	// repeating it at every caller would bury the signal.
+	id := analysis.FuncID(fn)
+	fact, ok := pass.Facts.Lookup(id, analysis.FactImpure)
+	if !ok || pathIn(objPkgPath(fn), deterministicZones) {
+		return
+	}
+	pass.ReportChainf(call.Pos(),
+		pass.Facts.RenderChainFrom(id, fact), fact.Depth()+1,
+		"call to %s is impure in deterministic zone: its dynamic extent reaches %s — thread the value in from the caller or route through the sanctioned telemetry clock / seeded RNG streams",
+		fn.Name(), fact.Detail)
 }
 
 // checkMapRangeReduction flags `for ... := range m` over a map whose body
@@ -106,39 +107,7 @@ func checkDeterministicCall(pass *analysis.Pass, call *ast.CallExpr) {
 // map iteration order. Key-addressed writes (out[k] = v) are allowed —
 // they are order-independent.
 func checkMapRangeReduction(pass *analysis.Pass, rs *ast.RangeStmt) {
-	t := pass.Pkg.Info.TypeOf(rs.X)
-	if t == nil {
-		return
-	}
-	if _, isMap := t.Underlying().(*types.Map); !isMap {
-		return
-	}
-	feeds := false
-	ast.Inspect(rs.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || feeds {
-			return !feeds
-		}
-		switch as.Tok {
-		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
-			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
-			// Only plain-identifier targets: indexed writes (out[k] += v)
-			// are addressed by the key and stay order-independent.
-			if _, plain := as.Lhs[0].(*ast.Ident); plain {
-				feeds = true
-			}
-		case token.ASSIGN:
-			for _, rhs := range as.Rhs {
-				if c, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
-					if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "append" {
-						feeds = true
-					}
-				}
-			}
-		}
-		return !feeds
-	})
-	if feeds {
+	if analysis.MapRangeFeedsReduction(pass.Pkg.Info, rs) {
 		pass.Reportf(rs.Pos(),
 			"map iteration feeds a reduction in deterministic zone: map order is randomized — iterate sorted keys or reduce into an index-addressed slice")
 	}

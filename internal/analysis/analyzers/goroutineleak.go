@@ -1,0 +1,149 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fedmigr/internal/analysis"
+)
+
+// goroutineZones are the packages whose goroutines outlive a function
+// call: session readers and accept loops in fednet, fleet drivers, and
+// the sched worker pool. A goroutine spawned there with no join or stop
+// path leaks across rounds — under churn (faults.Plan) the server
+// accumulates parked readers until the fd table or the race detector
+// gives out.
+var goroutineZones = []string{
+	"fedmigr/internal/fednet",
+	"fedmigr/internal/fleet",
+	"fedmigr/internal/sched",
+}
+
+// GoroutineLeak flags `go` statements in fednet, fleet and sched whose
+// body has no visible join or stop path: no WaitGroup Done, no channel
+// send/close (announcing completion to a joiner), no channel
+// receive/select/range (stoppable by closing the channel) — neither
+// directly in the spawned body nor, via the propagated signal facts,
+// inside any function it calls. Calls the engine cannot resolve (function
+// values, interface methods) fail open.
+var GoroutineLeak = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc: "flags goroutines launched in fednet, fleet or sched with no join/stop path " +
+		"(WaitGroup Done, channel send/close/receive/select) anywhere in their dynamic extent",
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *analysis.Pass) {
+	if !inPackages(pass, goroutineZones) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineSignals(pass, g.Call) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no join or stop path: nothing in its dynamic extent signals completion (WaitGroup Done, channel send/close) or can be stopped (channel receive/select) — track it with a WaitGroup joined in Close, or park it on a channel the owner closes")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineSignals reports whether the spawned call's dynamic extent
+// contains a join/stop signal. For a function literal the body is scanned
+// directly (nested `go` spawns excluded — their signals don't join this
+// goroutine); for every named callee the propagated FactSignals is
+// consulted. Unresolvable callees make the answer true: the analyzer
+// fails open rather than flag dynamic dispatch it cannot see through.
+func goroutineSignals(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var roots []ast.Node
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		roots = append(roots, lit.Body)
+	} else {
+		roots = append(roots, call)
+	}
+	signals := false
+	var scan func(n ast.Node, skipRoot bool)
+	scan = func(root ast.Node, rootIsCall bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if signals {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.SendStmt, *ast.SelectStmt:
+				signals = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					signals = true
+				}
+			case *ast.RangeStmt:
+				if t := pass.Pkg.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						signals = true
+					}
+				}
+			case *ast.CallExpr:
+				if rootIsCall && n == root {
+					return true // the spawned call itself: classify its callee below
+				}
+				signals = signals || callSignals(pass, n)
+			}
+			return !signals
+		})
+		if rootIsCall {
+			if c, ok := root.(*ast.CallExpr); ok {
+				signals = signals || callSignals(pass, c)
+			}
+		}
+	}
+	for _, r := range roots {
+		_, isCall := r.(*ast.CallExpr)
+		scan(r, isCall)
+	}
+	return signals
+}
+
+// callSignals classifies one call inside a goroutine body: true when the
+// callee signals (directly or per facts) or cannot be resolved (fail
+// open).
+func callSignals(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return id.Name == "close"
+		}
+	}
+	obj := callee(pass, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		// Function value or unresolved identifier: fail open.
+		return true
+	}
+	if fn.Name() == "Done" && objPkgPath(fn) == "sync" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if _, iface := sig.Recv().Type().Underlying().(*types.Interface); iface {
+			// Dynamic dispatch: the concrete method is unknown; fail open.
+			return true
+		}
+	}
+	_, hasFact := pass.Facts.Lookup(analysis.FuncID(fn), analysis.FactSignals)
+	if hasFact {
+		return true
+	}
+	// A named callee with no body in the loaded set (external package)
+	// has no fact and no verdict — fail open unless it's module-internal,
+	// where the fact engine has seen every body.
+	return !moduleInternal(objPkgPath(fn))
+}
+
+func moduleInternal(path string) bool {
+	return path == "fedmigr" || len(path) > len("fedmigr/") && path[:len("fedmigr/")] == "fedmigr/"
+}

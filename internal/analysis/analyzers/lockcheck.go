@@ -18,16 +18,19 @@ var lockZones = []string{
 }
 
 // LockCheck flags blocking operations — network reads/writes/accepts/
-// dials, channel operations, pool.ForEach/ParallelFor regions, and
-// time.Sleep — executed while a sync.Mutex/RWMutex is held. The walk is
-// a linear, source-order approximation of the critical section: Lock()
-// opens it, Unlock() closes it, and defer Unlock() extends it to the end
-// of the function. Connection Close calls are deliberately not treated
-// as blocking: closing under the lock is how fednet makes Close
-// idempotent and unblock parked readers.
+// dials, channel operations, pool.ForEach/ParallelFor regions, WaitGroup
+// waits and time.Sleep — executed while a sync.Mutex/RWMutex is held,
+// directly or transitively: a call to a helper whose dynamic extent
+// blocks is reported with the full call chain. The walk is a linear,
+// source-order approximation of the critical section: Lock() opens it,
+// Unlock() closes it, and defer Unlock() extends it to the end of the
+// function. Connection Close calls are deliberately not treated as
+// blocking: closing under the lock is how fednet makes Close idempotent
+// and unblock parked readers.
 var LockCheck = &analysis.Analyzer{
 	Name: "lockcheck",
-	Doc: "flags blocking calls (net I/O, channel ops, sched regions, sleeps) " +
+	Doc: "flags blocking calls (net I/O, channel ops, sched regions, sleeps), " +
+		"including transitively blocking callees, " +
 		"made while holding a sync.Mutex/RWMutex in fednet, edgenet or sched",
 	Run: runLockCheck,
 }
@@ -172,54 +175,38 @@ func (w *lockWalker) scanBlocking(n ast.Node) {
 		case *ast.SendStmt:
 			w.report(n, "channel send")
 		case *ast.CallExpr:
-			if kind, ok := w.blockingCall(n); ok {
+			if kind := analysis.BlockingCallDetail(w.pass.Pkg, n); kind != "" {
 				w.report(n, kind)
+				return true
 			}
+			w.checkTransitive(n)
 		}
 		return true
 	})
 }
 
-// blockingCall classifies calls that can block indefinitely (or for a
-// scheduling quantum) on external progress.
-func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+// checkTransitive reports a call whose callee is not itself a blocking
+// primitive but whose dynamic extent blocks, per the propagated facts.
+// Mutex Lock/Unlock calls (already modeled by the held-stack) and callees
+// inside this package's own critical sections are still reported — a
+// nested Lock under a held lock is exactly the self-deadlock the analyzer
+// exists to catch, but sync.Mutex ops carry no blocking fact, so only
+// genuine chains fire here.
+func (w *lockWalker) checkTransitive(call *ast.CallExpr) {
 	obj := callee(w.pass, call)
-	if obj == nil {
-		return "", false
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
+		return
 	}
-	name := obj.Name()
-	switch objPkgPath(obj) {
-	case "time":
-		if name == "Sleep" {
-			return "time.Sleep", true
-		}
-	case "net":
-		switch name {
-		case "Dial", "DialTimeout", "DialTCP", "Listen":
-			return "net." + name, true
-		}
-	case "fedmigr/internal/sched":
-		if name == "ForEach" || name == "ParallelFor" {
-			return "sched parallel region " + name, true
-		}
-	}
-	// Method calls on net.Conn / net.Listener values.
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	id := analysis.FuncID(fn)
+	fact, ok := w.pass.Facts.Lookup(id, analysis.FactBlocking)
 	if !ok {
-		return "", false
+		return
 	}
-	recv := w.pass.Pkg.Info.TypeOf(sel.X)
-	switch name {
-	case "Read", "Write":
-		if implementsIface(w.pass, recv, "net", "Conn") {
-			return "net.Conn " + name, true
-		}
-	case "Accept":
-		if implementsIface(w.pass, recv, "net", "Listener") {
-			return "net.Listener Accept", true
-		}
-	}
-	return "", false
+	w.pass.ReportChainf(call.Pos(),
+		w.pass.Facts.RenderChainFrom(id, fact), fact.Depth()+1,
+		"call to %s blocks (reaches %s) while holding mutex %s: blocking under the lock stalls every goroutine contending for it — release the lock first or move the call out of the critical section",
+		fn.Name(), fact.Detail, w.held[len(w.held)-1])
 }
 
 func (w *lockWalker) report(n ast.Node, what string) {

@@ -1,0 +1,147 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fedmigr/internal/analysis"
+)
+
+// wireZones are the packages defining wire dispatch: fednet owns the
+// MsgType universe and every switch that routes a received frame.
+var wireZones = []string{
+	"fedmigr/internal/fednet",
+}
+
+// WireExhaustive guards the wire protocol against silently-dropped
+// frames: every exported Msg* constant of the package's MsgType must be
+// handled somewhere — as a case label in a MsgType-tagged switch, in an
+// ==/!= comparison, or passed bare to a helper (expect(MsgWelcome)). A
+// constant that is defined but never dispatched is a frame the runtime
+// reads off the wire and discards without even logging. Additionally,
+// every MsgType-tagged switch must carry a default clause, so an unknown
+// or future frame type fails loudly instead of falling through.
+var WireExhaustive = &analysis.Analyzer{
+	Name: "wireexhaustive",
+	Doc: "requires every Msg* constant of fednet's MsgType to be handled in a dispatch " +
+		"switch, comparison or helper call, and every MsgType-tagged switch to have a default clause",
+	Run: runWireExhaustive,
+}
+
+func runWireExhaustive(pass *analysis.Pass) {
+	if !inPackages(pass, wireZones) {
+		return
+	}
+	universe := map[string]token.Pos{} // const name -> declaration
+	handled := map[string]bool{}
+	var msgType types.Type
+
+	// Pass 1: collect the Msg* constants of the package's MsgType.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Pkg.Info.Defs[name].(*types.Const)
+					if !ok || !strings.HasPrefix(name.Name, "Msg") {
+						continue
+					}
+					if named, ok := c.Type().(*types.Named); ok && named.Obj().Name() == "MsgType" {
+						universe[name.Name] = name.Pos()
+						msgType = c.Type()
+					}
+				}
+			}
+		}
+	}
+	if len(universe) == 0 {
+		return
+	}
+
+	isMsgConst := func(e ast.Expr) (string, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		if c, ok := pass.Pkg.Info.Uses[id].(*types.Const); ok {
+			if _, inUniverse := universe[c.Name()]; inUniverse {
+				return c.Name(), true
+			}
+		}
+		return "", false
+	}
+
+	// Pass 2: collect handled positions and check switch defaults.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !types.Identical(pass.Pkg.Info.TypeOf(n.Tag), msgType) {
+					return true
+				}
+				hasDefault := false
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					if cc.List == nil {
+						hasDefault = true
+					}
+					for _, e := range cc.List {
+						if name, ok := isMsgConst(e); ok {
+							handled[name] = true
+						}
+					}
+				}
+				if !hasDefault {
+					pass.Reportf(n.Pos(),
+						"MsgType switch has no default clause: an unknown or future message type falls through silently — add a default that surfaces the unexpected frame")
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					if name, ok := isMsgConst(n.X); ok {
+						handled[name] = true
+					}
+					if name, ok := isMsgConst(n.Y); ok {
+						handled[name] = true
+					}
+				}
+			case *ast.CallExpr:
+				// A constant passed bare to a helper (expect(MsgWelcome),
+				// send(conn, MsgHello, ...)) is dispatched by that helper.
+				// Composite literals (Message{Type: MsgHello}) are sends,
+				// not handling — they do not reach here as bare arguments.
+				for _, arg := range n.Args {
+					if name, ok := isMsgConst(arg); ok {
+						handled[name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	names := make([]string, 0, len(universe))
+	for name := range universe {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !handled[name] {
+			pass.Reportf(universe[name],
+				"message type %s is defined but never handled: no dispatch switch, comparison or helper consumes it, so frames of this type are read and silently dropped — wire it into the receive switches in server.go/client.go/aggregator.go",
+				name)
+		}
+	}
+}

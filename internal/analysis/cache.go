@@ -1,0 +1,398 @@
+package analysis
+
+// cache.go is the incremental layer: one JSON entry per package, keyed by
+// a hash chaining the engine version, the analyzer set, the package's own
+// sources and — recursively — the keys of its module-internal imports. A
+// package whose key matches its cache entry is not parsed or type-checked
+// at all: its propagated facts (and, for lint targets, its
+// post-suppression findings) are read back, so a warm run on an unchanged
+// tree does only directory walks, ImportsOnly parses and hashing.
+// Changing any file invalidates its package and every dependent
+// transitively, because dependents chain the dep key.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheVersion invalidates every entry when the engine's fact semantics
+// change. Bump it whenever seeds, propagation or diagnostic shape move.
+const cacheVersion = "fedmigr-lint-cache-v2"
+
+// Options configures a cached lint run.
+type Options struct {
+	// CacheDir holds the per-package entries. Empty disables caching:
+	// every package is loaded and analyzed from scratch.
+	CacheDir string
+	// Loader loads packages (and carries the parallel pool, if any). A
+	// fresh NewLoader() is used when nil.
+	Loader *Loader
+	// AllZones disables package-path gating in every analyzer.
+	AllZones bool
+	// Facts parameterizes fact computation; DefaultFactConfig() when the
+	// Pure map is nil.
+	Facts FactConfig
+}
+
+// Stats reports what a cached run had to do.
+type Stats struct {
+	// Packages is the number of lint targets.
+	Packages int
+	// Loaded counts packages parsed and type-checked this run (targets
+	// and fact-only dependencies); 0 on a fully warm run.
+	Loaded int
+	// Cached counts targets answered entirely from the cache.
+	Cached int
+}
+
+// Result is the outcome of a cached lint run.
+type Result struct {
+	Diags []Diagnostic
+	Stats Stats
+}
+
+// cacheEntry is one package's serialized state.
+type cacheEntry struct {
+	Key        string                       `json:"key"`
+	ImportPath string                       `json:"import_path"`
+	Facts      map[string]map[FactKind]Fact `json:"facts,omitempty"`
+	// Analyzed distinguishes full target entries (diagnostics valid, even
+	// if empty) from fact-only dependency entries.
+	Analyzed bool         `json:"analyzed"`
+	Diags    []Diagnostic `json:"diags,omitempty"`
+}
+
+// Lint runs the analyzers over the packages matched by patterns through
+// the incremental cache.
+func Lint(patterns []string, analyzers []*Analyzer, opts Options) (*Result, error) {
+	loader := opts.Loader
+	if loader == nil {
+		loader = NewLoader()
+	}
+	cfg := opts.Facts
+	if cfg.Pure == nil {
+		cfg = DefaultFactConfig()
+	}
+	targets, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := newKeyer(analyzers, opts.AllZones)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Stats: Stats{Packages: len(targets)}}
+	if opts.CacheDir == "" {
+		// Even without a cache, facts must cover the targets' whole
+		// module-internal dependency closure or interprocedural chains
+		// into non-target helpers would silently vanish.
+		need := map[string]DirPkg{}
+		isTarget := map[string]bool{}
+		for _, t := range targets {
+			need[t.ImportPath] = t
+			isTarget[t.ImportPath] = true
+			deps, err := keys.closure(t)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range deps {
+				need[d.ImportPath] = d
+			}
+		}
+		load := make([]DirPkg, 0, len(need))
+		for _, d := range need {
+			load = append(load, d)
+		}
+		sort.Slice(load, func(i, j int) bool { return load[i].ImportPath < load[j].ImportPath })
+		pkgs, err := loader.LoadDirs(load)
+		if err != nil {
+			return nil, err
+		}
+		facts := ComputeFacts(pkgs, nil, cfg)
+		for _, pkg := range pkgs {
+			if isTarget[pkg.ImportPath] {
+				res.Diags = append(res.Diags, runOne(pkg, analyzers, facts, opts.AllZones)...)
+			}
+		}
+		sortDiags(res.Diags)
+		res.Stats.Loaded = len(pkgs)
+		return res, nil
+	}
+	if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: cache: %w", err)
+	}
+
+	// Partition targets into warm (valid entry) and dirty.
+	var dirty []DirPkg
+	base := NewFactSet(cfg.Module)
+	for _, t := range targets {
+		key, err := keys.key(t)
+		if err != nil {
+			return nil, err
+		}
+		ent, ok := readEntry(opts.CacheDir, t.ImportPath)
+		if ok && ent.Key == key && ent.Analyzed {
+			res.Diags = append(res.Diags, ent.Diags...)
+			base.Merge(ent.Facts)
+			res.Stats.Cached++
+			continue
+		}
+		dirty = append(dirty, t)
+	}
+	if len(dirty) == 0 {
+		sortDiags(res.Diags)
+		return res, nil
+	}
+
+	// Dirty targets need facts for their whole module-internal dependency
+	// closure. Deps with a valid cache entry contribute cached facts; the
+	// rest are loaded alongside the dirty targets.
+	need := map[string]DirPkg{}
+	for _, t := range dirty {
+		need[t.ImportPath] = t
+		deps, err := keys.closure(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			need[d.ImportPath] = d
+		}
+	}
+	var load []DirPkg
+	isTarget := map[string]bool{}
+	for _, t := range dirty {
+		isTarget[t.ImportPath] = true
+	}
+	for ip, d := range need {
+		if !isTarget[ip] {
+			key, err := keys.key(d)
+			if err != nil {
+				return nil, err
+			}
+			if ent, ok := readEntry(opts.CacheDir, ip); ok && ent.Key == key {
+				base.Merge(ent.Facts)
+				continue
+			}
+		}
+		load = append(load, d)
+	}
+	sort.Slice(load, func(i, j int) bool { return load[i].ImportPath < load[j].ImportPath })
+
+	pkgs, err := loader.LoadDirs(load)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Loaded = len(pkgs)
+	facts := ComputeFacts(pkgs, base, cfg)
+	for _, pkg := range pkgs {
+		key, err := keys.key(DirPkg{Dir: pkg.Dir, ImportPath: pkg.ImportPath})
+		if err != nil {
+			return nil, err
+		}
+		ent := cacheEntry{
+			Key:        key,
+			ImportPath: pkg.ImportPath,
+			Facts:      facts.ForPackage(pkg.ImportPath),
+		}
+		if isTarget[pkg.ImportPath] {
+			diags := runOne(pkg, analyzers, facts, opts.AllZones)
+			res.Diags = append(res.Diags, diags...)
+			ent.Analyzed = true
+			ent.Diags = diags
+		}
+		if err := writeEntry(opts.CacheDir, ent); err != nil {
+			return nil, err
+		}
+	}
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// entryPath places a package's entry under the cache dir, named by the
+// hash of its import path (import paths contain separators).
+func entryPath(cacheDir, importPath string) string {
+	sum := sha256.Sum256([]byte(importPath))
+	return filepath.Join(cacheDir, hex.EncodeToString(sum[:16])+".json")
+}
+
+func readEntry(cacheDir, importPath string) (cacheEntry, bool) {
+	b, err := os.ReadFile(entryPath(cacheDir, importPath))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(b, &ent); err != nil || ent.ImportPath != importPath {
+		return cacheEntry{}, false
+	}
+	return ent, true
+}
+
+func writeEntry(cacheDir string, ent cacheEntry) error {
+	b, err := json.Marshal(ent)
+	if err != nil {
+		return fmt.Errorf("analysis: cache: %w", err)
+	}
+	// Write-then-rename so a crashed run never leaves a torn entry; a
+	// missing or corrupt entry just reads as a cache miss.
+	tmp := entryPath(cacheDir, ent.ImportPath) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("analysis: cache: %w", err)
+	}
+	if err := os.Rename(tmp, entryPath(cacheDir, ent.ImportPath)); err != nil {
+		return fmt.Errorf("analysis: cache: %w", err)
+	}
+	return nil
+}
+
+// keyer computes and memoizes package cache keys. A key covers the engine
+// version, the analyzer set, zone gating, every non-test Go source of the
+// package, and the keys of its module-internal imports, recursively — so
+// editing one file invalidates exactly its package and all dependents.
+type keyer struct {
+	root, mod string
+	config    string
+	keys      map[string]string
+	deps      map[string][]string // importPath -> module-internal imports
+}
+
+func newKeyer(analyzers []*Analyzer, allZones bool) (*keyer, error) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return &keyer{
+		root:   root,
+		mod:    mod,
+		config: cacheVersion + "|" + strings.Join(names, ",") + "|allzones=" + strconv.FormatBool(allZones),
+		keys:   map[string]string{},
+		deps:   map[string][]string{},
+	}, nil
+}
+
+// dirFor maps a module-internal import path back to its directory,
+// relative to the current working directory (keys and loads both resolve
+// relative paths, so positions stay stable between runs).
+func (k *keyer) dirFor(importPath string) (string, error) {
+	rel := strings.TrimPrefix(importPath, k.mod)
+	rel = strings.TrimPrefix(rel, "/")
+	abs := filepath.Join(k.root, filepath.FromSlash(rel))
+	cwd, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	if d, err := filepath.Rel(cwd, abs); err == nil {
+		return d, nil
+	}
+	return abs, nil
+}
+
+// key returns the package's cache key, computing source hashes and the
+// module-internal import list on first use.
+func (k *keyer) key(t DirPkg) (string, error) {
+	if key, ok := k.keys[t.ImportPath]; ok {
+		return key, nil
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\npkg %s\n", k.config, t.ImportPath)
+	entries, err := os.ReadDir(t.Dir)
+	if err != nil {
+		return "", fmt.Errorf("analysis: cache: %w", err)
+	}
+	fset := token.NewFileSet()
+	var imports []string
+	seenImp := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(t.Dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return "", fmt.Errorf("analysis: cache: %w", err)
+		}
+		sum := sha256.Sum256(b)
+		fmt.Fprintf(h, "file %s %s\n", name, hex.EncodeToString(sum[:]))
+		f, err := parser.ParseFile(fset, path, b, parser.ImportsOnly)
+		if err != nil {
+			continue // unparseable files hash by content; the build gate owns the error
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (ip == k.mod || strings.HasPrefix(ip, k.mod+"/")) && ip != t.ImportPath && !seenImp[ip] {
+				seenImp[ip] = true
+				imports = append(imports, ip)
+			}
+		}
+	}
+	sort.Strings(imports)
+	k.deps[t.ImportPath] = imports
+	// Memoize before recursing: Go forbids import cycles, but a stale
+	// entry must not hang the keyer if one sneaks past the type checker.
+	k.keys[t.ImportPath] = ""
+	for _, ip := range imports {
+		dir, err := k.dirFor(ip)
+		if err != nil {
+			return "", err
+		}
+		depKey, err := k.key(DirPkg{Dir: dir, ImportPath: ip})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep %s %s\n", ip, depKey)
+	}
+	key := hex.EncodeToString(h.Sum(nil))
+	k.keys[t.ImportPath] = key
+	return key, nil
+}
+
+// closure returns the package's transitive module-internal dependencies.
+func (k *keyer) closure(t DirPkg) ([]DirPkg, error) {
+	if _, err := k.key(t); err != nil { // populates k.deps
+		return nil, err
+	}
+	var out []DirPkg
+	seen := map[string]bool{t.ImportPath: true}
+	queue := append([]string{}, k.deps[t.ImportPath]...)
+	for len(queue) > 0 {
+		ip := queue[0]
+		queue = queue[1:]
+		if seen[ip] {
+			continue
+		}
+		seen[ip] = true
+		dir, err := k.dirFor(ip)
+		if err != nil {
+			return nil, err
+		}
+		d := DirPkg{Dir: dir, ImportPath: ip}
+		if _, err := k.key(d); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+		queue = append(queue, k.deps[ip]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fedmigr/internal/analysis"
+	"fedmigr/internal/analysis/analyzers"
+)
+
+// cacheModule writes a throwaway module with an in-zone core package
+// calling through a helper package, chdirs into it, and returns its root.
+// core's impurity is interprocedural: Step -> util.Stamp -> time.Now.
+func cacheModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fedmigr\n\ngo 1.24\n",
+		"internal/core/core.go": `package core
+
+import "fedmigr/internal/util"
+
+// Step transitively reads the wall clock through util.
+func Step() int64 { return util.Stamp() }
+`,
+		"internal/util/util.go": `package util
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(root)
+	return root
+}
+
+func lintCore(t *testing.T, cacheDir string) *analysis.Result {
+	t.Helper()
+	res, err := analysis.Lint([]string{"./internal/core"},
+		[]*analysis.Analyzer{analyzers.Determinism},
+		analysis.Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLintWarmCache proves the acceptance criterion's cache half at the
+// API level: a second identical run loads zero packages, answers every
+// target from the cache, and reports byte-identical diagnostics.
+func TestLintWarmCache(t *testing.T) {
+	cacheModule(t)
+	cacheDir := filepath.Join(t.TempDir(), "lintcache")
+
+	cold := lintCore(t, cacheDir)
+	if len(cold.Diags) != 1 {
+		t.Fatalf("cold run: want 1 finding, got %d: %v", len(cold.Diags), cold.Diags)
+	}
+	if !strings.Contains(cold.Diags[0].Chain, "time.Now") {
+		t.Errorf("cold finding chain %q does not reach time.Now", cold.Diags[0].Chain)
+	}
+	if cold.Stats.Loaded == 0 || cold.Stats.Cached != 0 {
+		t.Errorf("cold stats = %+v, want all loaded, none cached", cold.Stats)
+	}
+
+	warm := lintCore(t, cacheDir)
+	if warm.Stats.Loaded != 0 {
+		t.Errorf("warm run loaded %d packages, want 0", warm.Stats.Loaded)
+	}
+	if warm.Stats.Cached != warm.Stats.Packages {
+		t.Errorf("warm stats = %+v, want every target cached", warm.Stats)
+	}
+	if !reflect.DeepEqual(cold.Diags, warm.Diags) {
+		t.Errorf("warm diags differ from cold:\ncold: %v\nwarm: %v", cold.Diags, warm.Diags)
+	}
+}
+
+// TestLintCacheDepInvalidation proves the recursive cache key: editing a
+// dependency's source re-analyzes the unchanged target. Fixing util's
+// wall-clock read makes core's finding disappear; restoring it brings
+// the finding back.
+func TestLintCacheDepInvalidation(t *testing.T) {
+	root := cacheModule(t)
+	cacheDir := filepath.Join(t.TempDir(), "lintcache")
+	utilGo := filepath.Join(root, "internal", "util", "util.go")
+
+	if got := lintCore(t, cacheDir); len(got.Diags) != 1 {
+		t.Fatalf("cold run: want 1 finding, got %d", len(got.Diags))
+	}
+
+	// Fix the helper; core.go itself is untouched.
+	pure := "package util\n\n// Stamp is pure in the fixed variant.\nfunc Stamp() int64 { return 42 }\n"
+	if err := os.WriteFile(utilGo, []byte(pure), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed := lintCore(t, cacheDir)
+	if len(fixed.Diags) != 0 {
+		t.Fatalf("after fixing dep: want 0 findings, got %v", fixed.Diags)
+	}
+	if fixed.Stats.Loaded == 0 {
+		t.Error("dep edit did not invalidate the target: nothing was reloaded")
+	}
+
+	// Reintroduce the impurity: the stale clean entry must not stick.
+	dirty := "package util\n\nimport \"time\"\n\nfunc Stamp() int64 { return time.Now().UnixNano() }\n"
+	if err := os.WriteFile(utilGo, []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back := lintCore(t, cacheDir)
+	if len(back.Diags) != 1 {
+		t.Fatalf("after restoring dep: want 1 finding, got %v", back.Diags)
+	}
+}
+
+// TestLintNoCacheDir proves the empty-CacheDir path analyzes from
+// scratch and leaves no cache files behind.
+func TestLintNoCacheDir(t *testing.T) {
+	cacheModule(t)
+	res := lintCore(t, "")
+	if len(res.Diags) != 1 {
+		t.Fatalf("want 1 finding, got %d", len(res.Diags))
+	}
+	again := lintCore(t, "")
+	if again.Stats.Cached != 0 || again.Stats.Loaded == 0 {
+		t.Errorf("uncached rerun stats = %+v, want everything loaded", again.Stats)
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FuncID is the stable, cross-package identity of a function in the call
+// graph: "pkgpath.Name" for package-level functions and
+// "pkgpath.(Recv).Name" for methods. Identity is a string — not a
+// *types.Object — because the loader type-checks each package
+// independently (the source importer re-checks dependencies), so the same
+// function is represented by distinct objects in different passes; its
+// qualified name is the invariant.
+func FuncID(obj *types.Func) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkg + "." + obj.Name()
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	recv := "?"
+	switch tt := t.(type) {
+	case *types.Named:
+		recv = tt.Obj().Name()
+	case *types.Interface:
+		recv = "interface"
+	}
+	return pkg + ".(" + recv + ")." + obj.Name()
+}
+
+// calleeFunc resolves the *types.Func a call expression statically
+// invokes (package function or method; nil for builtins, function values
+// and unresolved identifiers). Interface method calls resolve to the
+// interface method object — dynamic dispatch is not modeled, so facts
+// fail open across it.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// A callEdge is one static call site: caller (the enclosing declared
+// function) → callee, at pos. Calls inside function literals are
+// attributed to the enclosing declaration — the literal either runs
+// inline (sched.ParallelFor bodies) or on a goroutine the declaration
+// spawned, and in both cases its effects belong to the declaration's
+// dynamic extent for fact purposes.
+type callEdge struct {
+	calleeID string
+	pos      token.Position
+	// inGo marks call sites inside `go` statement subtrees: the call runs
+	// concurrently with the caller, so blocking facts must not propagate
+	// through it (spawning never blocks), while impurity facts still do
+	// (a nondeterministic effect on another goroutine is still an effect).
+	inGo bool
+}
+
+// A cgNode is one declared function with a body in a loaded package.
+type cgNode struct {
+	id    string
+	pkg   *Package
+	decl  *ast.FuncDecl
+	calls []callEdge
+}
+
+// callGraph is the static whole-module call graph over every loaded
+// package, keyed by FuncID.
+type callGraph struct {
+	nodes map[string]*cgNode
+	order []string // sorted ids, for deterministic propagation
+}
+
+// buildCallGraph walks every function declaration of every package and
+// records its static call edges.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{nodes: map[string]*cgNode{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &cgNode{id: FuncID(obj), pkg: pkg, decl: fd}
+				collectCalls(pkg, fd.Body, false, &node.calls)
+				g.nodes[node.id] = node
+			}
+		}
+	}
+	g.order = make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		g.order = append(g.order, id)
+	}
+	sort.Strings(g.order)
+	return g
+}
+
+// collectCalls appends every static call site under n, flagging sites
+// inside `go` statement subtrees.
+func collectCalls(pkg *Package, n ast.Node, inGo bool, out *[]callEdge) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			collectCalls(pkg, m.Call, true, out)
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg.Info, m); fn != nil {
+				*out = append(*out, callEdge{
+					calleeID: FuncID(fn),
+					pos:      pkg.Fset.Position(m.Pos()),
+					inGo:     inGo,
+				})
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestDirectiveGrammar is the table test for the //lint:ignore grammar:
+// comma-separated analyzer lists with optional whitespace around commas
+// and one tolerated trailing comma, followed by a mandatory reason.
+func TestDirectiveGrammar(t *testing.T) {
+	// The parser disambiguates "list, word" via the registered-name set;
+	// register the names this table uses (idempotent — the analyzers
+	// package registers the same names in init).
+	for _, n := range []string{"determinism", "lockcheck", "hotalloc", "errcheck"} {
+		RegisterAnalyzerName(n)
+	}
+	cases := []struct {
+		name      string
+		text      string
+		directive bool // text is a //lint:ignore directive at all
+		analyzers []string
+		reason    string
+		malformed string // substring of the expected malformed message
+	}{
+		{
+			name:      "single",
+			text:      "//lint:ignore determinism benchmark wall-clock is intentional",
+			directive: true,
+			analyzers: []string{"determinism"},
+			reason:    "benchmark wall-clock is intentional",
+		},
+		{
+			name:      "multi tight",
+			text:      "//lint:ignore determinism,lockcheck shared fixture",
+			directive: true,
+			analyzers: []string{"determinism", "lockcheck"},
+			reason:    "shared fixture",
+		},
+		{
+			name:      "multi space after comma",
+			text:      "//lint:ignore determinism, lockcheck shared fixture",
+			directive: true,
+			analyzers: []string{"determinism", "lockcheck"},
+			reason:    "shared fixture",
+		},
+		{
+			name:      "multi space around comma",
+			text:      "//lint:ignore determinism , lockcheck shared fixture",
+			directive: true,
+			analyzers: []string{"determinism", "lockcheck"},
+			reason:    "shared fixture",
+		},
+		{
+			name:      "trailing comma",
+			text:      "//lint:ignore determinism,lockcheck, shared fixture",
+			directive: true,
+			analyzers: []string{"determinism", "lockcheck"},
+			reason:    "shared fixture",
+		},
+		{
+			name:      "trailing comma single",
+			text:      "//lint:ignore hotalloc, cold path",
+			directive: true,
+			analyzers: []string{"hotalloc"},
+			reason:    "cold path",
+		},
+		{
+			name:      "tab separated reason",
+			text:      "//lint:ignore errcheck\tclose error is advisory",
+			directive: true,
+			analyzers: []string{"errcheck"},
+			reason:    "close error is advisory",
+		},
+		{
+			name:      "missing reason",
+			text:      "//lint:ignore determinism",
+			directive: true,
+			malformed: "missing reason",
+		},
+		{
+			name:      "missing reason trailing comma",
+			text:      "//lint:ignore determinism,",
+			directive: true,
+			malformed: "missing reason",
+		},
+		{
+			name:      "missing analyzer",
+			text:      "//lint:ignore",
+			directive: true,
+			malformed: "missing analyzer",
+		},
+		{
+			name:      "blank body",
+			text:      "//lint:ignore   ",
+			directive: true,
+			malformed: "missing analyzer",
+		},
+		{
+			name:      "comma only list",
+			text:      "//lint:ignore ,, some reason",
+			directive: true,
+			malformed: "malformed analyzer list",
+		},
+		{
+			name:      "other lint directive",
+			text:      "//lint:ignoreall everything",
+			directive: false,
+		},
+		{
+			name:      "ordinary comment",
+			text:      "// this is not a directive",
+			directive: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, ok := parseIgnoreText(tc.text)
+			if ok != tc.directive {
+				t.Fatalf("parseIgnoreText(%q) recognized=%v, want %v", tc.text, ok, tc.directive)
+			}
+			if !tc.directive {
+				return
+			}
+			if tc.malformed != "" {
+				if d.malformed == "" || !strings.Contains(d.malformed, tc.malformed) {
+					t.Fatalf("malformed = %q, want substring %q", d.malformed, tc.malformed)
+				}
+				return
+			}
+			if d.malformed != "" {
+				t.Fatalf("unexpected malformed directive: %q", d.malformed)
+			}
+			if !reflect.DeepEqual(d.analyzers, tc.analyzers) {
+				t.Errorf("analyzers = %v, want %v", d.analyzers, tc.analyzers)
+			}
+			if d.reason != tc.reason {
+				t.Errorf("reason = %q, want %q", d.reason, tc.reason)
+			}
+		})
+	}
+}

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A FactKind names one propagated property of a function.
+type FactKind string
+
+const (
+	// FactImpure marks a function whose dynamic extent reads wall clock,
+	// consumes the global math/rand stream, iterates a map into an
+	// order-sensitive reduction, or writes a package-level variable
+	// without synchronization — anywhere, transitively.
+	FactImpure FactKind = "impure"
+	// FactBlocking marks a function whose dynamic extent can block on
+	// external progress (net I/O, channel ops, sleeps, sched regions).
+	FactBlocking FactKind = "blocking"
+	// FactSignals marks a function whose body reaches a join/completion
+	// path: a WaitGroup Done, a channel send/close (announces exit), a
+	// channel receive/select/range (terminates when peers close), so a
+	// goroutine running it can be joined or stopped.
+	FactSignals FactKind = "signals"
+)
+
+// A ChainStep is one hop of a fact's provenance: Pos is the call site
+// (file:line, inside the function one hop up) and Callee the function it
+// calls into.
+type ChainStep struct {
+	Callee string `json:"callee"`
+	Pos    string `json:"pos"`
+}
+
+// A Fact is one propagated property with its provenance: Detail names the
+// leaf operation ("time.Now", "channel send", ...), Site its position,
+// and Chain the call path from the fact's owner down to the function
+// containing the leaf (empty for a leaf fact).
+type Fact struct {
+	Kind   FactKind    `json:"kind"`
+	Detail string      `json:"detail"`
+	Site   string      `json:"site"`
+	Chain  []ChainStep `json:"chain,omitempty"`
+}
+
+// Depth returns the number of call hops between the fact's owner and the
+// leaf operation (0 for a leaf fact).
+func (f Fact) Depth() int { return len(f.Chain) }
+
+// A FactSet maps FuncID → kind → fact for every function the engine has
+// seen, whether freshly computed or loaded from the incremental cache.
+type FactSet struct {
+	m      map[string]map[FactKind]Fact
+	module string // module path, used to shorten ids when rendering chains
+}
+
+// NewFactSet returns an empty fact set (module may be "" — chains render
+// with full import paths).
+func NewFactSet(module string) *FactSet {
+	return &FactSet{m: map[string]map[FactKind]Fact{}, module: module}
+}
+
+// Lookup returns the fact of the given kind on the function, if any.
+func (fs *FactSet) Lookup(id string, kind FactKind) (Fact, bool) {
+	if fs == nil {
+		return Fact{}, false
+	}
+	f, ok := fs.m[id][kind]
+	return f, ok
+}
+
+// Len returns the number of functions carrying at least one fact.
+func (fs *FactSet) Len() int { return len(fs.m) }
+
+// ForPackage extracts the facts owned by functions of one package, in
+// cache-serializable form.
+func (fs *FactSet) ForPackage(importPath string) map[string]map[FactKind]Fact {
+	out := map[string]map[FactKind]Fact{}
+	for id, kinds := range fs.m {
+		if strings.HasPrefix(id, importPath+".") {
+			out[id] = kinds
+		}
+	}
+	return out
+}
+
+// Merge installs externally computed facts (from the cache) for functions
+// the set does not yet know. Freshly computed facts win.
+func (fs *FactSet) Merge(ext map[string]map[FactKind]Fact) {
+	for id, kinds := range ext {
+		if _, ok := fs.m[id]; !ok {
+			fs.m[id] = kinds
+		}
+	}
+}
+
+func (fs *FactSet) put(id string, f Fact) bool {
+	kinds := fs.m[id]
+	if kinds == nil {
+		kinds = map[FactKind]Fact{}
+		fs.m[id] = kinds
+	}
+	if _, ok := kinds[f.Kind]; ok {
+		return false
+	}
+	kinds[f.Kind] = f
+	return true
+}
+
+// shortID strips the module prefix from a FuncID for rendering:
+// "fedmigr/internal/core.(Trainer).step" → "core.(Trainer).step".
+func (fs *FactSet) shortID(id string) string {
+	if fs.module == "" {
+		return id
+	}
+	rest, ok := strings.CutPrefix(id, fs.module+"/")
+	if !ok {
+		return strings.TrimPrefix(id, fs.module+".")
+	}
+	rest = strings.TrimPrefix(rest, "internal/")
+	return rest
+}
+
+// RenderChainFrom renders the full call chain of a fact looked up on
+// firstCallee: each segment is "func (file:line)" where the position is
+// the call site inside that function leading one hop further down, ending
+// at the leaf operation.
+func (fs *FactSet) RenderChainFrom(firstCallee string, f Fact) string {
+	var b strings.Builder
+	cur := firstCallee
+	for _, step := range f.Chain {
+		fmt.Fprintf(&b, "%s (%s) -> ", fs.shortID(cur), step.Pos)
+		cur = step.Callee
+	}
+	fmt.Fprintf(&b, "%s (%s) -> %s", fs.shortID(cur), f.Site, f.Detail)
+	return b.String()
+}
+
+// FactConfig parameterizes fact computation.
+type FactConfig struct {
+	// Module is the module path, used to shorten function ids in rendered
+	// chains.
+	Module string
+	// Pure lists FuncIDs the engine must treat as fact-free: no seeds are
+	// collected in their bodies and no facts propagate through calls to
+	// them. The injected telemetry clock lives here — telemetry.Now is
+	// *the* sanctioned wall-clock read, so chains must terminate at it.
+	Pure map[string]bool
+}
+
+// DefaultFactConfig is the project configuration: chains are cut at the
+// injected telemetry clock (telemetry.Now/Since are the sanctioned
+// timing entry points — DESIGN.md §6).
+func DefaultFactConfig() FactConfig {
+	return FactConfig{
+		Module: "fedmigr",
+		Pure: map[string]bool{
+			"fedmigr/internal/telemetry.Now":   true,
+			"fedmigr/internal/telemetry.Since": true,
+		},
+	}
+}
+
+// ComputeFacts builds the whole-module call graph over pkgs, seeds leaf
+// facts in every function body, and propagates them bottom-up to a
+// fixpoint. base carries facts of packages not loaded this run (from the
+// incremental cache); they participate in propagation and appear in the
+// result. The computation is deterministic: nodes and edges are processed
+// in sorted order and a function's first-established fact per kind wins.
+func ComputeFacts(pkgs []*Package, base *FactSet, cfg FactConfig) *FactSet {
+	g := buildCallGraph(pkgs)
+	fs := NewFactSet(cfg.Module)
+	if base != nil {
+		for id, kinds := range base.m {
+			fs.m[id] = kinds
+		}
+	}
+	for _, id := range g.order {
+		if cfg.Pure[id] {
+			continue
+		}
+		seedFacts(fs, g.nodes[id])
+	}
+	// Bellman-Ford-style fixpoint: facts are set-once, so each round can
+	// only extend chains by one hop and the loop terminates after at most
+	// the longest acyclic call-path length.
+	for changed := true; changed; {
+		changed = false
+		for _, id := range g.order {
+			n := g.nodes[id]
+			for _, e := range n.calls {
+				if cfg.Pure[e.calleeID] {
+					continue
+				}
+				for _, kind := range []FactKind{FactImpure, FactBlocking, FactSignals} {
+					// A `go` spawn neither blocks the caller nor joins the
+					// spawned goroutine; only impurity crosses it.
+					if e.inGo && kind != FactImpure {
+						continue
+					}
+					src, ok := fs.Lookup(e.calleeID, kind)
+					if !ok {
+						continue
+					}
+					ext := Fact{
+						Kind:   kind,
+						Detail: src.Detail,
+						Site:   src.Site,
+						Chain:  append([]ChainStep{{Callee: e.calleeID, Pos: posKey(e.pos)}}, src.Chain...),
+					}
+					if fs.put(id, ext) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return fs
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// seedFacts scans one function body for leaf operations and installs the
+// corresponding facts on the node.
+func seedFacts(fs *FactSet, n *cgNode) {
+	pkg, body := n.pkg, n.decl.Body
+	pos := func(at ast.Node) string { return posKey(pkg.Fset.Position(at.Pos())) }
+	seed := func(kind FactKind, detail string, at ast.Node) {
+		fs.put(n.id, Fact{Kind: kind, Detail: detail, Site: pos(at)})
+	}
+
+	// Impurity seeds: scanned everywhere, including `go` subtrees — a
+	// nondeterministic effect on a spawned goroutine is still an effect.
+	synced := hasSyncOp(pkg.Info, body)
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg.Info, m); fn != nil {
+				if WallClockFunc(fn) {
+					seed(FactImpure, "time."+fn.Name(), m)
+				} else if GlobalRandFunc(fn) {
+					seed(FactImpure, "math/rand."+fn.Name(), m)
+				}
+			}
+		case *ast.RangeStmt:
+			if MapRangeFeedsReduction(pkg.Info, m) {
+				seed(FactImpure, "map-order-dependent reduction", m)
+			}
+		case ast.Stmt:
+			if n.decl.Name.Name != "init" && !synced {
+				if name := UnsyncedGlobalWriteTarget(pkg.Info, m); name != "" {
+					seed(FactImpure, "unsynchronized write to package-level var "+name, m)
+				}
+			}
+		}
+		return true
+	})
+
+	// Blocking seeds: `go` subtrees are skipped — spawning never blocks.
+	var scanBlocking func(ast.Node)
+	scanBlocking = func(root ast.Node) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if detail := BlockingCallDetail(pkg, m); detail != "" {
+					seed(FactBlocking, detail, m)
+				}
+			case *ast.SendStmt:
+				seed(FactBlocking, "channel send", m)
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					seed(FactBlocking, "channel receive", m)
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(m) {
+					seed(FactBlocking, "select", m)
+				}
+			}
+			return true
+		})
+	}
+	scanBlocking(body)
+
+	// Signal seeds: join/completion paths. Scanned outside `go` subtrees —
+	// a nested goroutine's signal does not join this one.
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg.Info, m); fn != nil {
+				if fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					seed(FactSignals, "sync.WaitGroup Done", m)
+				}
+			}
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					seed(FactSignals, "channel close", m)
+				}
+			}
+		case *ast.SendStmt:
+			seed(FactSignals, "channel send", m)
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				seed(FactSignals, "channel receive", m)
+			}
+		case *ast.SelectStmt:
+			seed(FactSignals, "select", m)
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(m.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					seed(FactSignals, "range over channel", m)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

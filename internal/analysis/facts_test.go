@@ -1,0 +1,175 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedmigr/internal/analysis"
+)
+
+// loadFactsPkg writes src as a single-file package in a temp dir and
+// loads it under the given module-internal import path.
+func loadFactsPkg(t *testing.T, importPath, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader().LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Fatalf("fixture type error: %v", te)
+	}
+	return pkg
+}
+
+// TestFactPropagationCycle proves the fixpoint terminates on mutual
+// recursion and that impurity flows through the cycle to the entry point
+// with a renderable chain ending at the leaf detail.
+func TestFactPropagationCycle(t *testing.T) {
+	const ip = "fedmigr/internal/factfixture"
+	pkg := loadFactsPkg(t, ip, `package factfixture
+
+import "time"
+
+func Entry() int64 { return ping(2) }
+
+func ping(n int) int64 {
+	if n > 0 {
+		return pong(n - 1)
+	}
+	return stamp()
+}
+
+func pong(n int) int64 { return ping(n) }
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	fs := analysis.ComputeFacts([]*analysis.Package{pkg}, nil, analysis.DefaultFactConfig())
+	leaf, ok := fs.Lookup(ip+".stamp", analysis.FactImpure)
+	if !ok {
+		t.Fatal("stamp has no impure fact")
+	}
+	if leaf.Depth() != 0 {
+		t.Errorf("leaf depth = %d, want 0", leaf.Depth())
+	}
+	if !strings.Contains(leaf.Detail, "time.Now") {
+		t.Errorf("leaf detail = %q, want mention of time.Now", leaf.Detail)
+	}
+	for _, fn := range []string{"Entry", "ping", "pong"} {
+		f, ok := fs.Lookup(ip+"."+fn, analysis.FactImpure)
+		if !ok {
+			t.Errorf("%s has no impure fact; propagation did not reach it", fn)
+			continue
+		}
+		if f.Depth() == 0 {
+			t.Errorf("%s depth = 0, want > 0 (transitive fact)", fn)
+		}
+		chain := fs.RenderChainFrom(ip+"."+fn, f)
+		if !strings.Contains(chain, "time.Now") {
+			t.Errorf("%s chain %q does not terminate at time.Now", fn, chain)
+		}
+	}
+}
+
+// TestFactGoGating proves the `go` edge semantics: impurity crosses a
+// goroutine spawn into the spawner, but blocking and signaling do not —
+// the spawner neither waits on nor joins what it launches.
+func TestFactGoGating(t *testing.T) {
+	const ip = "fedmigr/internal/factfixture"
+	pkg := loadFactsPkg(t, ip, `package factfixture
+
+import "time"
+
+func Spawn(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	<-ch
+	_ = time.Now()
+}
+`)
+	fs := analysis.ComputeFacts([]*analysis.Package{pkg}, nil, analysis.DefaultFactConfig())
+	for _, kind := range []analysis.FactKind{analysis.FactImpure, analysis.FactBlocking, analysis.FactSignals} {
+		if _, ok := fs.Lookup(ip+".drain", kind); !ok {
+			t.Errorf("drain missing %s fact", kind)
+		}
+	}
+	if _, ok := fs.Lookup(ip+".Spawn", analysis.FactImpure); !ok {
+		t.Error("Spawn missing impure fact: impurity must cross the go edge")
+	}
+	if f, ok := fs.Lookup(ip+".Spawn", analysis.FactBlocking); ok {
+		t.Errorf("Spawn has blocking fact %v: blocking must not cross the go edge", f)
+	}
+	if f, ok := fs.Lookup(ip+".Spawn", analysis.FactSignals); ok {
+		t.Errorf("Spawn has signals fact %v: signaling must not cross the go edge", f)
+	}
+}
+
+// TestFactPureCut proves FactConfig.Pure removes both the seed inside
+// the sanctioned function and any propagation through calls to it — the
+// mechanism that keeps telemetry.Now chains out of the reports.
+func TestFactPureCut(t *testing.T) {
+	const ip = "fedmigr/internal/factfixture"
+	const src = `package factfixture
+
+import "time"
+
+func Caller() int64 { return Sanctioned() }
+
+func Sanctioned() int64 { return time.Now().UnixNano() }
+`
+	pkg := loadFactsPkg(t, ip, src)
+	cfg := analysis.FactConfig{Module: "fedmigr", Pure: map[string]bool{ip + ".Sanctioned": true}}
+	fs := analysis.ComputeFacts([]*analysis.Package{pkg}, nil, cfg)
+	if f, ok := fs.Lookup(ip+".Sanctioned", analysis.FactImpure); ok {
+		t.Errorf("Sanctioned seeded %v despite Pure entry", f)
+	}
+	if f, ok := fs.Lookup(ip+".Caller", analysis.FactImpure); ok {
+		t.Errorf("Caller gained %v through a Pure callee", f)
+	}
+	// Same source without the Pure entry: both functions are impure.
+	pkg2 := loadFactsPkg(t, ip, src)
+	fs2 := analysis.ComputeFacts([]*analysis.Package{pkg2}, nil, analysis.DefaultFactConfig())
+	if _, ok := fs2.Lookup(ip+".Caller", analysis.FactImpure); !ok {
+		t.Error("control run: Caller should be impure without the Pure entry")
+	}
+}
+
+// TestFactBaseMerge proves facts supplied via base (the cache path for
+// packages not loaded this run) participate in propagation.
+func TestFactBaseMerge(t *testing.T) {
+	const ip = "fedmigr/internal/factfixture"
+	const depID = "fedmigr/internal/unloaded.Tick"
+	pkg := loadFactsPkg(t, ip, `package factfixture
+
+func Use() { external() }
+
+// external stands in for a call into a package whose facts come from
+// the cache; the body is empty so no local seed exists.
+func external()
+`)
+	base := analysis.NewFactSet("fedmigr")
+	base.Merge(map[string]map[analysis.FactKind]analysis.Fact{
+		ip + ".external": {
+			analysis.FactImpure: {Kind: analysis.FactImpure, Detail: "time.Now (cached)", Site: "dep.go:1",
+				Chain: []analysis.ChainStep{{Callee: depID, Pos: "dep.go:1"}}},
+		},
+	})
+	fs := analysis.ComputeFacts([]*analysis.Package{pkg}, base, analysis.DefaultFactConfig())
+	f, ok := fs.Lookup(ip+".Use", analysis.FactImpure)
+	if !ok {
+		t.Fatal("Use did not inherit the cached fact through base")
+	}
+	if f.Depth() != 2 {
+		t.Errorf("depth = %d, want 2 (one local hop + one cached hop)", f.Depth())
+	}
+	if chain := fs.RenderChainFrom(ip+".Use", f); !strings.Contains(chain, "unloaded.Tick") {
+		t.Errorf("chain %q missing cached hop", chain)
+	}
+}

@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -29,6 +30,9 @@ var fixtures = []struct {
 	{"errcheck", "fedmigr/internal/fednet", analyzers.ErrCheck},
 	{"telemetrynames", "fedmigr/internal/core", analyzers.TelemetryNames},
 	{"floatcmp", "fedmigr/internal/tensor", analyzers.FloatCmp},
+	{"goroutineleak", "fedmigr/internal/fednet", analyzers.GoroutineLeak},
+	{"hotalloc", "fedmigr/internal/tensor", analyzers.HotAlloc},
+	{"wireexhaustive", "fedmigr/internal/fednet", analyzers.WireExhaustive},
 }
 
 var wantRE = regexp.MustCompile("^want `(.+)`$")
@@ -141,6 +145,123 @@ func TestFixtureSuppressions(t *testing.T) {
 				t.Fatalf("stripping //lint:ignore changed findings %d -> %d; suppression not exercised", base, unsuppressed)
 			}
 		})
+	}
+}
+
+// loadInterproc loads the three-package interprocedural fixture: a zone
+// package (under fedmigr/internal/core) calling through two helper
+// packages aliased to module-internal paths outside every zone.
+func loadInterproc(t *testing.T) []*analysis.Package {
+	t.Helper()
+	loader := analysis.NewLoader()
+	base := filepath.Join("testdata", "src", "interproc")
+	loader.Alias("fedmigr/internal/lintfixture/mid", filepath.Join(base, "mid"))
+	loader.Alias("fedmigr/internal/lintfixture/leaf", filepath.Join(base, "leaf"))
+	var pkgs []*analysis.Package
+	for _, p := range []struct{ dir, ip string }{
+		{"leaf", "fedmigr/internal/lintfixture/leaf"},
+		{"mid", "fedmigr/internal/lintfixture/mid"},
+		{"zone", "fedmigr/internal/core"},
+	} {
+		pkg, err := loader.LoadDir(filepath.Join(base, p.dir), p.ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, te := range pkg.TypeErrors {
+			t.Fatalf("fixture %s type error: %v", p.dir, te)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// TestInterprocFixture drives the acceptance scenario: a zone function
+// whose impurity is two calls deep across packages is flagged at the
+// in-zone call site with the full chain rendered in the diagnostic, and
+// nothing is reported in the out-of-zone helpers.
+func TestInterprocFixture(t *testing.T) {
+	pkgs := loadInterproc(t)
+	got := analysis.Run(pkgs, []*analysis.Analyzer{analyzers.Determinism})
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(got), got)
+	}
+	d := got[0]
+	want := expectations(t, pkgs[2])
+	key := fmt.Sprintf("%s:%d", d.File, d.Line)
+	re, ok := want[key]
+	if !ok || !re.MatchString(d.Message) {
+		t.Fatalf("diagnostic %s does not match fixture want annotations", d)
+	}
+	if d.Depth != 2 {
+		t.Errorf("chain depth = %d, want 2 (two calls between zone and leaf)", d.Depth)
+	}
+	for _, hop := range []string{"lintfixture/mid.Stamp", "lintfixture/leaf.Clock", "time.Now"} {
+		if !strings.Contains(d.Chain, hop) {
+			t.Errorf("chain %q missing hop %q", d.Chain, hop)
+		}
+	}
+}
+
+// TestInterprocFixtureFixed proves the flip side of the acceptance
+// criterion: with the leaf's wall-clock read replaced by a constant, the
+// identical zone code produces no findings.
+func TestInterprocFixtureFixed(t *testing.T) {
+	dir := t.TempDir()
+	fixed := map[string]string{
+		"leaf/leaf.go": "package leaf\n\n// Clock is pure in the fixed variant.\nfunc Clock() int64 { return 42 }\n",
+	}
+	for _, sub := range []string{"zone", "mid"} {
+		src, err := os.ReadFile(filepath.Join("testdata", "src", "interproc", sub, mapFixtureFile(sub)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed[sub+"/"+mapFixtureFile(sub)] = string(src)
+	}
+	for rel, src := range fixed {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader := analysis.NewLoader()
+	loader.Alias("fedmigr/internal/lintfixture/mid", filepath.Join(dir, "mid"))
+	loader.Alias("fedmigr/internal/lintfixture/leaf", filepath.Join(dir, "leaf"))
+	var pkgs []*analysis.Package
+	for _, p := range []struct{ sub, ip string }{
+		{"leaf", "fedmigr/internal/lintfixture/leaf"},
+		{"mid", "fedmigr/internal/lintfixture/mid"},
+		{"zone", "fedmigr/internal/core"},
+	} {
+		pkg, err := loader.LoadDir(filepath.Join(dir, p.sub), p.ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if got := analysis.Run(pkgs, []*analysis.Analyzer{analyzers.Determinism}); len(got) != 0 {
+		t.Fatalf("fixed helper still yields findings: %v", got)
+	}
+}
+
+func mapFixtureFile(sub string) string {
+	if sub == "zone" {
+		return "fixture.go"
+	}
+	return sub + ".go"
+}
+
+// TestInterprocSuppression proves the zone fixture's //lint:ignore on the
+// second chain call site is load-bearing.
+func TestInterprocSuppression(t *testing.T) {
+	pkgs := loadInterproc(t)
+	base := len(analysis.Run(pkgs, []*analysis.Analyzer{analyzers.Determinism}))
+	stripIgnores(pkgs[2])
+	unsuppressed := len(analysis.Run(pkgs, []*analysis.Analyzer{analyzers.Determinism}))
+	if unsuppressed != base+1 {
+		t.Fatalf("stripping ignores changed findings %d -> %d, want +1", base, unsuppressed)
 	}
 }
 

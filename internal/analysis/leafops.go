@@ -1,0 +1,231 @@
+package analysis
+
+// leafops.go holds the shared leaf-operation classifiers used both by the
+// fact engine (to seed impurity/blocking facts at the bottom of call
+// chains) and by the analyzers (to report direct violations with tailored
+// messages at the exact site). Keeping one classifier per operation
+// guarantees the direct and interprocedural views of "what is impure /
+// what blocks" can never drift apart.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// seededRandCtors are the math/rand entry points that take an explicit
+// source or are pure constructors — the only ones deterministic code may
+// touch. Everything else on the package (Intn, Float64, Perm, Shuffle,
+// Seed, ...) consumes the process-global generator.
+var seededRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand explicitly
+	"NewPCG":     true, // math/rand/v2 seeded source
+	"NewChaCha8": true,
+}
+
+// WallClockFunc reports whether fn is a wall-clock read (time.Now, Since,
+// Until) — the canonical hidden-nondeterminism leaf.
+func WallClockFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}
+
+// GlobalRandFunc reports whether fn is a package-level math/rand (or v2)
+// function consuming the shared global generator. Methods on an explicit
+// *rand.Rand are fine — those generators are seeded.
+func GlobalRandFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil && !seededRandCtors[fn.Name()]
+}
+
+// MapRangeFeedsReduction reports whether rs is a `for ... := range m`
+// over a map whose body accumulates into an outer scalar (x += ...) or
+// grows a slice (x = append(x, ...)): both make the result depend on Go's
+// randomized map iteration order. Key-addressed writes (out[k] = v) are
+// order-independent and allowed.
+func MapRangeFeedsReduction(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	feeds := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || feeds {
+			return !feeds
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Only plain-identifier targets: indexed writes (out[k] += v)
+			// are addressed by the key and stay order-independent.
+			if _, plain := as.Lhs[0].(*ast.Ident); plain {
+				feeds = true
+			}
+		case token.ASSIGN:
+			for _, rhs := range as.Rhs {
+				if c, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "append" {
+						feeds = true
+					}
+				}
+			}
+		}
+		return !feeds
+	})
+	return feeds
+}
+
+// ImplementsDepIface reports whether t (or *t) implements the named
+// interface from the dependency package at path — e.g. net.Conn. It
+// degrades to false when the package or name cannot be resolved, so
+// callers fail open rather than crash on partial type information.
+func ImplementsDepIface(pkg *Package, t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	dep := pkg.Dep(path)
+	if dep == nil {
+		return false
+	}
+	obj := dep.Scope().Lookup(name)
+	if obj == nil {
+		return false
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), iface)
+}
+
+// BlockingCallDetail classifies calls that can block indefinitely (or for
+// a scheduling quantum) on external progress: sleeps, dials/listens,
+// sched parallel regions, and reads/writes/accepts on net.Conn /
+// net.Listener values. The empty string means "does not block".
+func BlockingCallDetail(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "time":
+			if name == "Sleep" {
+				return "time.Sleep"
+			}
+		case "net":
+			switch name {
+			case "Dial", "DialTimeout", "DialTCP", "Listen":
+				return "net." + name
+			}
+		case "fedmigr/internal/sched":
+			if name == "ForEach" || name == "ParallelFor" {
+				return "sched parallel region " + name
+			}
+		case "sync":
+			if name == "Wait" {
+				return "sync.WaitGroup Wait"
+			}
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv := pkg.Info.TypeOf(sel.X)
+	switch name {
+	case "Read", "Write":
+		if ImplementsDepIface(pkg, recv, "net", "Conn") {
+			return "net.Conn " + name
+		}
+	case "Accept":
+		if ImplementsDepIface(pkg, recv, "net", "Listener") {
+			return "net.Listener Accept"
+		}
+	}
+	return ""
+}
+
+// UnsyncedGlobalWriteTarget returns the name of the package-level
+// variable stmt writes to, or "" when stmt is not a write to a
+// package-level variable. Callers combine it with a function-level
+// synchronization check (see hasSyncOp): a global written under no lock
+// and no atomic is a nondeterminism leaf — concurrent zone code racing on
+// it produces schedule-dependent results.
+func UnsyncedGlobalWriteTarget(info *types.Info, stmt ast.Stmt) string {
+	var targets []ast.Expr
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			return ""
+		}
+		targets = s.Lhs
+	case *ast.IncDecStmt:
+		targets = []ast.Expr{s.X}
+	default:
+		return ""
+	}
+	for _, lhs := range targets {
+		root, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := info.Uses[root].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			continue
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Name()
+		}
+	}
+	return ""
+}
+
+// hasSyncOp reports whether the function body contains any mutex
+// operation or sync/atomic call — the (deliberately coarse) signal that
+// its global writes are synchronized. A function that both locks and
+// writes globals is assumed to know what it is doing; one that writes a
+// package-level var with no synchronization in sight is seeded impure.
+func hasSyncOp(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sync", "sync/atomic":
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -11,6 +11,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"fedmigr/internal/sched"
 )
 
 // A Package is one loaded, parsed and type-checked Go package ready for
@@ -71,11 +74,12 @@ func (p *Package) Dep(path string) *types.Package {
 
 // A Loader parses and type-checks packages. All packages loaded through
 // one Loader share a FileSet and a source-based importer, so dependency
-// type information is resolved once and object identities are comparable
-// across packages.
+// type information is resolved once per loader.
 type Loader struct {
 	fset *token.FileSet
-	imp  types.Importer
+	imp  *lockedImporter
+	// pool, when set, parallelizes LoadDirs across package directories.
+	pool *sched.Pool
 }
 
 // NewLoader returns a loader backed by the stdlib source importer, which
@@ -83,7 +87,65 @@ type Loader struct {
 // no compiled export data or third-party tooling required.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	l := &Loader{fset: fset}
+	l.imp = &lockedImporter{
+		loader:  l,
+		imp:     importer.ForCompiler(fset, "source", nil),
+		aliases: map[string]string{},
+		cache:   map[string]*types.Package{},
+	}
+	return l
+}
+
+// WithPool makes LoadDirs (and therefore Load) parse and type-check
+// package directories in parallel on the given sched pool. The underlying
+// source importer is serialized behind a mutex — it is not safe for
+// concurrent use — so the win is bounded, but local parse+check work
+// overlaps with dependency resolution. Returns the loader for chaining.
+func (l *Loader) WithPool(p *sched.Pool) *Loader {
+	l.pool = p
+	return l
+}
+
+// Alias registers a fixture mapping: imports of importPath resolve to the
+// package in dir, type-checked from source on first use. Golden tests use
+// it to place helper fixtures under module-internal import paths so
+// interprocedural facts can flow from a helper into a zone fixture.
+// Aliased packages must not import other aliased packages, and Alias is
+// not safe to call concurrently with loading.
+func (l *Loader) Alias(importPath, dir string) {
+	l.imp.aliases[importPath] = dir
+}
+
+// lockedImporter serializes a source importer (not concurrency-safe)
+// behind a mutex and intercepts aliased fixture paths.
+type lockedImporter struct {
+	loader  *Loader
+	mu      sync.Mutex
+	imp     types.Importer
+	aliases map[string]string
+	cache   map[string]*types.Package
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	if dir, ok := li.aliases[path]; ok {
+		// Alias loads recurse into the importer for their own (stdlib)
+		// dependencies, so they must run outside the mutex; the cache is
+		// only touched from alias resolution, which is single-threaded
+		// (test fixtures are loaded sequentially).
+		if cached, ok := li.cache[path]; ok {
+			return cached, nil
+		}
+		pkg, err := li.loader.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		li.cache[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
 }
 
 // LoadDir parses and type-checks the non-test Go files of one directory
@@ -161,13 +223,22 @@ func modulePath(root string) (string, error) {
 	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
 }
 
-// Load expands Go package patterns relative to the current module and
-// loads every matched package. Supported patterns are "./...",
-// "./dir/...", and plain directories ("./dir", "dir"). Directories named
-// testdata or vendor, and directories starting with "." or "_", are
-// pruned from "..." walks (matching the go tool), so fixture packages
-// never reach the production lint run.
-func (l *Loader) Load(patterns []string) ([]*Package, error) {
+// A DirPkg pairs a package directory on disk with the import path it is
+// loaded under.
+type DirPkg struct {
+	Dir        string
+	ImportPath string
+}
+
+// ExpandPatterns resolves Go package patterns relative to the current
+// module into (directory, import path) pairs, sorted by directory.
+// Supported patterns are "./...", "./dir/...", and plain directories
+// ("./dir", "dir"). Directories named testdata or vendor, and directories
+// starting with "." or "_", are pruned from "..." walks (matching the go
+// tool), so fixture packages never reach the production lint run. The
+// incremental cache expands patterns the same way to hash sources without
+// loading them.
+func (l *Loader) ExpandPatterns(patterns []string) ([]DirPkg, error) {
 	root, err := ModuleRoot(".")
 	if err != nil {
 		return nil, err
@@ -216,7 +287,7 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
-	var pkgs []*Package
+	out := make([]DirPkg, 0, len(sorted))
 	for _, dir := range sorted {
 		abs, err := filepath.Abs(dir)
 		if err != nil {
@@ -230,13 +301,42 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 		if rel != "." {
 			ip = mod + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.LoadDir(dir, ip)
+		out = append(out, DirPkg{Dir: dir, ImportPath: ip})
+	}
+	return out, nil
+}
+
+// LoadDirs loads every target package, in parallel when the loader has a
+// pool. Results keep the targets' order.
+func (l *Loader) LoadDirs(targets []DirPkg) ([]*Package, error) {
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	load := func(i int) {
+		pkgs[i], errs[i] = l.LoadDir(targets[i].Dir, targets[i].ImportPath)
+	}
+	if l.pool != nil && len(targets) > 1 {
+		l.pool.ForEach("analysis.load", len(targets), load)
+	} else {
+		for i := range targets {
+			load(i)
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// Load expands Go package patterns relative to the current module and
+// loads every matched package.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	targets, err := l.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirs(targets)
 }
 
 // hasGoFiles reports whether dir directly contains a non-test Go file.

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 output, the minimal subset GitHub code scanning consumes:
+// one run, one tool driver, a rule per analyzer, one result per
+// diagnostic with a physical location. Interprocedural call chains ride
+// in the result message — SARIF code flows would be richer, but the
+// chain string is what the CLI prints, and keeping the two identical
+// means a PR annotation never says less than the terminal did.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF serializes findings as a SARIF 2.1.0 log. analyzers supplies
+// rule metadata; diagnostics from analyzers not in the list (the "lint"
+// pseudo-analyzer for malformed directives) get a synthesized rule. File
+// paths are emitted relative to root so annotations bind to repository
+// paths regardless of where the lint ran.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, root string) error {
+	ruleIdx := map[string]bool{}
+	var rules []sarifRule
+	addRule := func(id, doc string) {
+		if !ruleIdx[id] {
+			ruleIdx[id] = true
+			rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		}
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	for _, d := range diags {
+		addRule(d.Analyzer, "finding reported by "+d.Analyzer)
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.File
+		if root != "" {
+			if abs, err := filepath.Abs(d.File); err == nil {
+				if rel, err := filepath.Rel(root, abs); err == nil {
+					uri = filepath.ToSlash(rel)
+				}
+			}
+		}
+		msg := d.Message
+		if d.Chain != "" {
+			msg += "; call chain: " + d.Chain
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: uri},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fedmigr-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

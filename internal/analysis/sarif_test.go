@@ -1,0 +1,116 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedmigr/internal/analysis"
+)
+
+// TestWriteSARIF checks the emitted log against the slice of SARIF 2.1.0
+// that GitHub code scanning consumes: version, driver, a rule per
+// analyzer (including synthesized ones), one result per diagnostic with
+// a root-relative URI, and the call chain folded into the message.
+func TestWriteSARIF(t *testing.T) {
+	root := t.TempDir()
+	diags := []analysis.Diagnostic{
+		{
+			Analyzer: "determinism", Package: "fedmigr/internal/core",
+			File: filepath.Join(root, "internal", "core", "step.go"), Line: 12, Col: 9,
+			Message: "call to Stamp is impure in deterministic zone",
+			Chain:   "mid.Stamp (mid.go:8) -> leaf.Clock (leaf.go:9) -> time.Now",
+			Depth:   2,
+		},
+		{
+			Analyzer: "lint", Package: "fedmigr/internal/core",
+			File: filepath.Join(root, "internal", "core", "step.go"), Line: 3, Col: 1,
+			Message: "missing reason: use //lint:ignore <analyzer> <reason>",
+		},
+	}
+	known := []*analysis.Analyzer{
+		{Name: "determinism", Doc: "flags nondeterminism in deterministic zones"},
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, diags, known, root); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "fedmigr-lint" {
+		t.Errorf("driver = %q, want fedmigr-lint", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	// Both the supplied analyzer and the pseudo-analyzer appearing only
+	// in diagnostics must have rules, or GitHub drops the annotations.
+	for _, id := range []string{"determinism", "lint"} {
+		if !ruleIDs[id] {
+			t.Errorf("missing rule %q in driver rules %v", id, run.Tool.Driver.Rules)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "determinism" || r0.Level != "error" {
+		t.Errorf("result[0] ruleId/level = %q/%q", r0.RuleID, r0.Level)
+	}
+	if !strings.Contains(r0.Message.Text, "call chain: mid.Stamp") {
+		t.Errorf("result message %q missing call chain", r0.Message.Text)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if got, want := loc.ArtifactLocation.URI, "internal/core/step.go"; got != want {
+		t.Errorf("uri = %q, want root-relative %q", got, want)
+	}
+	if loc.Region.StartLine != 12 {
+		t.Errorf("startLine = %d, want 12", loc.Region.StartLine)
+	}
+}

@@ -1,0 +1,75 @@
+// Package fednet is a goroutineleak fixture, loaded under the
+// fedmigr/internal/fednet import path so the zone gate applies.
+package fednet
+
+import "sync"
+
+// spawnLeak launches a goroutine whose body neither signals completion
+// nor parks on anything stoppable.
+func spawnLeak() {
+	go func() { // want `goroutine has no join or stop path`
+		x := 0
+		for i := 0; i < 1000; i++ {
+			x += i
+		}
+		_ = x
+	}()
+}
+
+// hotLoop spins forever with no signal in its dynamic extent.
+func hotLoop() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// spawnNamedLeak leaks through a named callee: the engine sees hotLoop
+// has no signal fact.
+func spawnNamedLeak() {
+	go hotLoop() // want `goroutine has no join or stop path`
+}
+
+// spawnJoined is fine: the WaitGroup Done is a join path.
+func spawnJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// spawnResult is fine: the send announces completion to the receiver.
+func spawnResult() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}
+
+// spawnParked is fine: the goroutine parks on a receive, so closing quit
+// stops it.
+func spawnParked(quit chan struct{}) {
+	go func() {
+		<-quit
+	}()
+}
+
+// drain terminates when its channel closes — a stop path the engine
+// propagates as a signal fact.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// spawnNamedOK is fine through the named callee's signal fact.
+func spawnNamedOK(ch chan int) {
+	go drain(ch)
+}
+
+// spawnDetached is a deliberate fire-and-forget: the suppression keeps it
+// out of the report and TestFixtureSuppressions proves it is load-bearing.
+func spawnDetached() {
+	//lint:ignore goroutineleak deliberate detached self-terminating burst for the fixture
+	go hotLoop()
+}

@@ -1,0 +1,62 @@
+// Package tensor is a hotalloc fixture, loaded under the
+// fedmigr/internal/tensor import path so the kernel zone gate applies.
+package tensor
+
+// Buf carries amortized scratch across steps.
+type Buf struct {
+	data    []float64
+	scratch []float64
+}
+
+// MatMul is kernel-named: the unguarded make fires.
+func MatMul(a, b []float64, n int) []float64 {
+	out := make([]float64, n) // want `make in kernel hot path`
+	for i := 0; i < n && i < len(a) && i < len(b); i++ {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+// Forward amortizes with the cap-guard idiom: exempt.
+func (t *Buf) Forward(n int) {
+	if cap(t.scratch) < n {
+		t.scratch = make([]float64, n)
+	}
+	t.scratch = t.scratch[:n]
+}
+
+// Backward reuses the backing array via append(x[:0], ...): exempt.
+func (t *Buf) Backward(xs []float64) {
+	t.data = append(t.data[:0], xs...)
+}
+
+// Conv grows a slice per iteration: fires.
+func Conv(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*2) // want `append in kernel hot path`
+	}
+	return out
+}
+
+// Softmax boxes a float64 into an interface parameter inside the loop:
+// fires.
+func Softmax(xs []float64) {
+	for _, x := range xs {
+		sink(x) // want `interface boxing in kernel loop`
+	}
+}
+
+func sink(v any) { _ = v }
+
+// NewScratch is not kernel-named: cold-path allocation is fine.
+func NewScratch(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Im2Col documents a sanctioned one-time allocation: the suppression is
+// load-bearing for TestFixtureSuppressions.
+func Im2Col(n int) []float64 {
+	//lint:ignore hotalloc one-time cold-start allocation, measured off the step path
+	return make([]float64, n)
+}

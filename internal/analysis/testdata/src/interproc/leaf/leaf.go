@@ -1,0 +1,10 @@
+// Package leaf is the bottom of the interprocedural fixture chain,
+// loaded under fedmigr/internal/lintfixture/leaf (outside every zone).
+package leaf
+
+import "time"
+
+// Clock is the impurity leaf.
+func Clock() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,10 @@
+// Package mid is the middle hop of the interprocedural fixture chain,
+// loaded under fedmigr/internal/lintfixture/mid (outside every zone).
+package mid
+
+import "fedmigr/internal/lintfixture/leaf"
+
+// Stamp forwards to the leaf's wall-clock read.
+func Stamp() int64 {
+	return leaf.Clock()
+}

@@ -1,0 +1,19 @@
+// Package core is the interprocedural determinism fixture, loaded under
+// the fedmigr/internal/core import path. The violation is two calls deep
+// and crosses two helper packages: Step -> mid.Stamp -> leaf.Clock ->
+// time.Now. Neither helper is in a deterministic zone, so only the
+// in-zone call site is reported — with the full chain.
+package core
+
+import "fedmigr/internal/lintfixture/mid"
+
+// Step looks pure but transitively reads the wall clock.
+func Step() int64 {
+	return mid.Stamp() // want `call to Stamp is impure in deterministic zone`
+}
+
+// StepSuppressed exercises a load-bearing suppression of the same chain.
+func StepSuppressed() int64 {
+	//lint:ignore determinism fixture: sanctioned wall-clock read for the suppression test
+	return mid.Stamp()
+}

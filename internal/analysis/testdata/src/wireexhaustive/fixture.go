@@ -1,0 +1,52 @@
+// Package fednet is a wireexhaustive fixture, loaded under the
+// fedmigr/internal/fednet import path so the wire zone gate applies.
+package fednet
+
+// MsgType is the fixture's wire frame tag.
+type MsgType uint8
+
+// Message types. MsgOrphan is deliberately unwired.
+const (
+	MsgHello MsgType = iota + 1
+	MsgWelcome
+	MsgData
+	MsgOrphan // want `message type MsgOrphan is defined but never handled`
+	//lint:ignore wireexhaustive reserved for the next protocol revision, intentionally unwired
+	MsgReserved
+)
+
+// Message is one wire frame.
+type Message struct {
+	Type MsgType
+}
+
+// dispatch handles Hello and Welcome with a default: compliant.
+func dispatch(m *Message) int {
+	switch m.Type {
+	case MsgHello:
+		return 1
+	case MsgWelcome:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// isData handles MsgData via comparison.
+func isData(m *Message) bool {
+	return m.Type == MsgData
+}
+
+// route is missing a default clause: an unknown frame falls through
+// silently.
+func route(m *Message) int {
+	switch m.Type { // want `MsgType switch has no default clause`
+	case MsgHello:
+		return 1
+	}
+	return 0
+}
+
+var _ = dispatch
+var _ = isData
+var _ = route

@@ -90,11 +90,14 @@ func (a *Accountant) AddComputeTime(sec float64) {
 // Traffic returns the cumulative bytes moved over the given kind.
 func (a *Accountant) Traffic(kind LinkKind) int64 { return a.trafficByKind[kind] }
 
-// TotalTraffic returns the cumulative bytes over all link kinds.
+// TotalTraffic returns the cumulative bytes over all link kinds. The sum
+// runs over the fixed kind enumeration, not the map, so callers in
+// deterministic zones (core's traffic-aware policies) see an
+// iteration-order-free value.
 func (a *Accountant) TotalTraffic() int64 {
 	var t int64
-	for _, v := range a.trafficByKind {
-		t += v
+	for _, k := range []LinkKind{IntraLAN, CrossLAN, C2S} {
+		t += a.trafficByKind[k]
 	}
 	return t
 }

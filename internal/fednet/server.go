@@ -177,6 +177,9 @@ type Server struct {
 	pending    []pendingJoin
 	warm       []byte
 	sealed     bool
+	// lateWG joins the acceptLate goroutine: Run closes the listener and
+	// waits on it before returning, so no admission can race teardown.
+	lateWG sync.WaitGroup
 
 	// lost[m] marks a replica unusable for the current round: its host
 	// died or it vanished in transit. Reset at every distribution.
@@ -844,8 +847,12 @@ func (s *Server) run() error {
 		return fmt.Errorf("fednet: server not listening")
 	}
 	// The listener closes when the session ends (success or error), so the
-	// late-join accept loop always drains out.
-	defer func() { _ = s.ln.Close() }()
+	// late-join accept loop always drains out — and is joined, so no
+	// admission races teardown.
+	defer func() {
+		_ = s.ln.Close()
+		s.lateWG.Wait()
+	}()
 	if err := s.accept(); err != nil {
 		return err
 	}
@@ -857,7 +864,11 @@ func (s *Server) run() error {
 		s.mu.Lock()
 		s.warm = warm
 		s.mu.Unlock()
-		go s.acceptLate()
+		s.lateWG.Add(1)
+		go func() {
+			defer s.lateWG.Done()
+			s.acceptLate()
+		}()
 	}
 	for round := 0; round < s.cfg.Rounds; round++ {
 		// Joiners admitted during the previous round enter the cohort here,

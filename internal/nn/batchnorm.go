@@ -58,8 +58,13 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	if train {
 		b.in = x
-		b.mean = make([]float64, c)
-		b.invStd = make([]float64, c)
+		// Amortized scratch: channel count is fixed for the layer's
+		// lifetime, so these allocate once and recycle thereafter.
+		if cap(b.mean) < c {
+			b.mean = make([]float64, c)
+			b.invStd = make([]float64, c)
+		}
+		b.mean, b.invStd = b.mean[:c], b.invStd[:c]
 		b.xhat = tensor.New(n, c, h, w)
 		xh := b.xhat.Data()
 		for ci := 0; ci < c; ci++ {

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"fedmigr/internal/sched"
 	"fedmigr/internal/tensor"
 )
 
@@ -116,8 +117,16 @@ func NewMaxPool2D(k, stride int) *MaxPool2D {
 func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y, arg := tensor.MaxPool2D(x, m.P)
 	if train {
+		// The previous batch's argmax map is dead once a new forward pass
+		// begins; recycle it so steady-state training allocates nothing
+		// here (the buffer comes from the shared sched arena).
+		if m.arg != nil {
+			sched.PutIntBuf(m.arg)
+		}
 		m.arg = arg
 		m.inShape = append(m.inShape[:0], x.Shape()...)
+	} else {
+		sched.PutIntBuf(arg)
 	}
 	return y
 }

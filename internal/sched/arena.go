@@ -76,3 +76,47 @@ func GetBuf(n int) []float64 { return defaultArena.Get(n) }
 
 // PutBuf recycles a buffer obtained from GetBuf.
 func PutBuf(buf []float64) { defaultArena.Put(buf) }
+
+// IntArena is the []int counterpart of Arena, recycling index scratch —
+// pooling argmax maps, permutation buffers — with the same power-of-two
+// size classes and the same zeroed-memory contract.
+type IntArena struct {
+	classes [maxClass + 1]sync.Pool
+}
+
+// Get returns a zeroed buffer of length n.
+func (a *IntArena) Get(n int) []int {
+	if n < 0 {
+		panic("sched: negative arena request")
+	}
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]int, n)
+	}
+	if v := a.classes[c].Get(); v != nil {
+		buf := v.([]int)[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]int, n, 1<<c)
+}
+
+// Put recycles a buffer obtained from Get; see Arena.Put.
+func (a *IntArena) Put(buf []int) {
+	c := sizeClass(cap(buf))
+	if c < 0 || cap(buf) != 1<<c {
+		return
+	}
+	a.classes[c].Put(buf[:cap(buf)]) //nolint:staticcheck // slices are pointer-shaped since go1.21
+}
+
+// defaultIntArena backs the package-level int-buffer helpers.
+var defaultIntArena IntArena
+
+// GetIntBuf returns a zeroed length-n int buffer from the shared arena.
+func GetIntBuf(n int) []int { return defaultIntArena.Get(n) }
+
+// PutIntBuf recycles a buffer obtained from GetIntBuf.
+func PutIntBuf(buf []int) { defaultIntArena.Put(buf) }

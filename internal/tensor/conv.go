@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"fedmigr/internal/sched"
+)
 
 // ConvParams describes a 2-D convolution or pooling geometry.
 type ConvParams struct {
@@ -149,6 +153,9 @@ func Conv2D(x, k, b *Tensor, p ConvParams) *Tensor {
 // MaxPool2D applies max pooling to x (N, C, H, W) and returns the pooled
 // output (N, C, OH, OW) together with the flat argmax index of each pooled
 // cell (into x's data), which the backward pass uses to route gradients.
+// The argmax buffer comes from the shared sched arena; callers that are
+// done with it (after the matching MaxPool2DBackward, or immediately in
+// inference) should recycle it with sched.PutIntBuf.
 func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int) {
 	p.validate()
 	if x.Rank() != 4 {
@@ -157,7 +164,7 @@ func MaxPool2D(x *Tensor, p ConvParams) (*Tensor, []int) {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := p.OutSize(h, w)
 	out := New(n, c, oh, ow)
-	arg := make([]int, out.Size())
+	arg := sched.GetIntBuf(out.Size())
 	// Pooling planes are independent: worker-private (ni, ci) blocks.
 	planes := n * c
 	parFor(planes, planes*oh*ow*p.KernelH*p.KernelW, func(plo, phi int) {

@@ -28,6 +28,30 @@ if ! go run ./cmd/fedmigr-lint ./...; then
     exit 1
 fi
 
+# ---- lint engine cold/warm -> BENCH_lint.json -------------------------
+# Times a whole-tree lint with an empty incremental cache and again with
+# the warm cache the first run just wrote. The warm number is the cost CI
+# pays on an unchanged tree; the ratio is the cache's whole reason to
+# exist (the CI lint step asserts warm >= 5x faster).
+lint_out="BENCH_lint.json"
+lintbin=$(mktemp)
+lintcache=$(mktemp -d)
+go build -o "$lintbin" ./cmd/fedmigr-lint
+start=$(date +%s%N)
+"$lintbin" -cache-dir "$lintcache" ./...
+cold=$(($(date +%s%N) - start))
+start=$(date +%s%N)
+"$lintbin" -cache-dir "$lintcache" ./...
+warm=$(($(date +%s%N) - start))
+rm -rf "$lintbin" "$lintcache"
+awk -v cold="$cold" -v warm="$warm" 'BEGIN {
+    # %.0f, not %d: a cold whole-tree lint is tens of seconds, past 2^31 ns.
+    sp = (warm > 0) ? cold / warm : 0
+    printf "[\n  {\"op\": \"lint_cold\", \"ns_total\": %.0f},\n", cold
+    printf "  {\"op\": \"lint_warm\", \"ns_total\": %.0f, \"speedup_vs_cold\": %.1f}\n]\n", warm, sp
+}' > "$lint_out"
+echo "bench.sh: wrote $lint_out (cold $((cold / 1000000)) ms, warm $((warm / 1000000)) ms)"
+
 cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 tmp=$(mktemp)

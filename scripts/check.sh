@@ -16,9 +16,14 @@ fi
 go vet ./...
 go build ./...
 # Project-specific invariants (determinism zones, lock discipline, error
-# handling, telemetry naming, float comparisons) — exits non-zero on any
-# finding; see cmd/fedmigr-lint and DESIGN.md §6.
+# handling, telemetry naming, float comparisons, goroutine lifecycle,
+# kernel allocation discipline, wire exhaustiveness) — exits non-zero on
+# any finding; see cmd/fedmigr-lint and DESIGN.md §6.
 go run ./cmd/fedmigr-lint ./...
+# Self-lint: the lint engine is held to its own bar. -all-zones disables
+# the package-path gates so errcheck and lockcheck apply to
+# internal/analysis itself even though it sits in no analyzer zone.
+go run ./cmd/fedmigr-lint -only errcheck,lockcheck -all-zones ./internal/analysis/...
 # internal/experiments alone runs ~9 min under the race detector on a
 # single core, right at go test's default 10m per-package timeout; give
 # the suite explicit headroom so slow hosts don't flake.

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# lint-report.sh — runs fedmigr-lint in JSON mode and prints a
-# per-analyzer summary table. Exits with fedmigr-lint's status (0 clean,
-# 1 findings, 2 load error), so it can stand in for the raw lint run in
-# CI while giving a more readable roll-up.
+# lint-report.sh — runs fedmigr-lint in JSON mode and prints per-analyzer,
+# per-package and per-chain-depth summary tables. Exits with
+# fedmigr-lint's status (0 clean, 1 findings, 2 load error), and forces a
+# failure when any suppression directive is missing its reason (the
+# "lint" pseudo-analyzer findings), so a silent //lint:ignore can never
+# ride through a green report.
 #
 # Usage: scripts/lint-report.sh [patterns...]   (default ./...)
 set -u
@@ -20,19 +22,40 @@ if [ "$status" -eq 2 ]; then
     exit 2
 fi
 
+# One finding-object per line (see internal/analysis/json.go), so every
+# field is extractable with sed alone.
+field() { # field <name>: print one value per finding line
+    grep '"analyzer"' "$tmp" | sed "s/.*\"$1\":\"\\([^\"]*\\)\".*/\\1/"
+}
+
 total=$(grep -c '"analyzer"' "$tmp" || true)
 echo "lint report ($*)"
 echo "--------------------------------"
 if [ "$total" -eq 0 ]; then
-    printf '%-20s %s\n' "(no findings)" 0
+    printf '%-40s %s\n' "(no findings)" 0
 else
-    # One finding-object per line (see internal/analysis/json.go), so the
-    # analyzer field is extractable with sed alone.
+    echo "by analyzer:"
+    field analyzer | sort | uniq -c | awk '{ printf "  %-38s %d\n", $2, $1 }'
+    echo "by package:"
+    field package | sort | uniq -c | awk '{ printf "  %-38s %d\n", $2, $1 }'
+    # Depth is a number (and omitted when 0): count direct findings vs
+    # findings seen only through the interprocedural fact engine.
+    echo "by call-chain depth:"
     grep '"analyzer"' "$tmp" \
-        | sed 's/.*"analyzer":"\([^"]*\)".*/\1/' \
-        | sort | uniq -c \
-        | awk '{ printf "%-20s %d\n", $2, $1 }'
+        | sed 's/.*"depth":\([0-9]*\).*/\1/; /[^0-9]/s/.*/0/' \
+        | sort -n | uniq -c \
+        | awk '{ printf "  depth %-32s %d\n", $2, $1 }'
 fi
 echo "--------------------------------"
-printf '%-20s %d\n' "total" "$total"
+printf '%-40s %d\n' "total" "$total"
+
+# Malformed suppressions (missing reason / broken analyzer list) surface
+# as findings of the built-in "lint" pseudo-analyzer; they must fail the
+# report even if somebody filters the main run down to clean analyzers.
+badsup=$(field analyzer | grep -cx 'lint' || true)
+if [ "$badsup" -gt 0 ]; then
+    echo "lint-report.sh: $badsup suppression directive(s) without a valid reason:" >&2
+    grep '"analyzer":"lint"' "$tmp" >&2
+    exit 1
+fi
 exit "$status"
